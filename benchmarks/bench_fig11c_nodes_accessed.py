@@ -1,0 +1,65 @@
+"""Figure 11c: communication cost (nodes accessed) vs query size.
+
+Paper shape: sampled graphs (shown at 6.4% and 51.2%) contact a
+near-constant / logarithmic number of communication sensors regardless
+of the query area, while the unsampled graph and the baseline flood
+every sensor in the region — node accesses linear in the query area.
+"""
+
+from __future__ import annotations
+
+from _common import N_QUERIES, emit, pipeline
+from repro.evaluation import evaluate, format_table
+from repro.evaluation.harness import STANDARD_AREA_FRACTIONS
+
+SAMPLED_SIZES = (0.064, 0.512)
+
+HEADERS = ("query area", "configuration", "nodes accessed (mean)", "miss")
+
+
+def bench_fig11c_nodes_accessed(benchmark):
+    p = pipeline()
+    rows = []
+    for fraction in STANDARD_AREA_FRACTIONS:
+        queries = p.standard_queries(fraction, n=N_QUERIES)
+        for size in SAMPLED_SIZES:
+            m = p.budget_for_fraction(size)
+            engine = p.engine(p.network("quadtree", m, seed=1))
+            report = evaluate(p, engine.execute, queries)
+            rows.append(
+                [
+                    f"{fraction:.2%}",
+                    f"sampled {size:.1%}",
+                    report.nodes_accessed.mean,
+                    report.miss_rate,
+                ]
+            )
+        # Unsampled graph: flood accounting from the exact engine.
+        report = evaluate(p, p.exact_engine.execute, queries)
+        rows.append(
+            [f"{fraction:.2%}", "unsampled G", report.nodes_accessed.mean, 0.0]
+        )
+        baseline = p.baseline_for_fraction(0.512, seed=1)
+        report = evaluate(p, baseline.execute, queries)
+        rows.append(
+            [
+                f"{fraction:.2%}",
+                "baseline 51.2%",
+                report.nodes_accessed.mean,
+                report.miss_rate,
+            ]
+        )
+    emit(
+        "fig11c",
+        "Fig 11c: nodes accessed vs query size",
+        format_table(HEADERS, rows),
+    )
+
+    queries = p.standard_queries(STANDARD_AREA_FRACTIONS[-1], n=N_QUERIES)
+    m = p.budget_for_fraction(0.064)
+    engine = p.engine(p.network("quadtree", m, seed=1))
+    benchmark.pedantic(
+        lambda: [engine.execute(q) for q in queries],
+        rounds=3,
+        iterations=1,
+    )

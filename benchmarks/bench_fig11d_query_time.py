@@ -1,0 +1,60 @@
+"""Figure 11d: query execution time vs query size.
+
+Paper shape: time grows with the query area for both configurations
+(larger perimeters mean more aggregation), but the sampled graph is
+consistently faster with a shallower slope than the unsampled graph.
+"""
+
+from __future__ import annotations
+
+import time
+
+from _common import N_QUERIES, emit, pipeline
+from repro.evaluation import format_table
+from repro.evaluation.harness import STANDARD_AREA_FRACTIONS
+
+SAMPLED_SIZE = 0.064
+
+HEADERS = ("query area", "configuration", "mean time (ms)", "speedup vs G")
+
+
+def _timed(execute, queries, repeats: int = 5) -> float:
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in queries:
+            execute(query)
+    return (time.perf_counter() - start) / (repeats * len(queries))
+
+
+def bench_fig11d_query_time(benchmark):
+    p = pipeline()
+    m = p.budget_for_fraction(SAMPLED_SIZE)
+    sampled_engine = p.engine(p.network("quadtree", m, seed=1))
+    rows = []
+    for fraction in STANDARD_AREA_FRACTIONS:
+        queries = p.standard_queries(fraction, n=N_QUERIES)
+        sampled_time = _timed(sampled_engine.execute, queries)
+        exact_time = _timed(p.exact_engine.execute, queries)
+        rows.append(
+            [
+                f"{fraction:.2%}",
+                f"sampled {SAMPLED_SIZE:.1%}",
+                sampled_time * 1000,
+                exact_time / sampled_time,
+            ]
+        )
+        rows.append(
+            [f"{fraction:.2%}", "unsampled G", exact_time * 1000, 1.0]
+        )
+    emit(
+        "fig11d",
+        "Fig 11d: query execution time vs query size",
+        format_table(HEADERS, rows),
+    )
+
+    queries = p.standard_queries(STANDARD_AREA_FRACTIONS[2], n=N_QUERIES)
+    benchmark.pedantic(
+        lambda: [sampled_engine.execute(q) for q in queries],
+        rounds=5,
+        iterations=1,
+    )

@@ -1,0 +1,34 @@
+"""Benchmark-session plumbing.
+
+pytest's default fd-level capture swallows everything a test writes,
+including ``sys.__stdout__`` — so the figure tables would only live in
+``benchmarks/results/``.  This hook replays every result table produced
+during the session into the terminal summary, which *is* part of the
+process stdout: ``pytest benchmarks/ --benchmark-only | tee out.txt``
+captures the full set of figures.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+_session_start = time.time()
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not RESULTS_DIR.is_dir():
+        return
+    tables = sorted(
+        path
+        for path in RESULTS_DIR.glob("*.txt")
+        if path.stat().st_mtime >= _session_start - 1.0
+    )
+    if not tables:
+        return
+    terminalreporter.section("figure tables (benchmarks/results/)")
+    for path in tables:
+        terminalreporter.write(path.read_text())
+        terminalreporter.write("\n")

@@ -1,0 +1,99 @@
+"""Cell-tower load monitoring (the paper's Fig. 1 scenario).
+
+A mobile operator needs the number of distinct users inside each
+tower's service area over arbitrary time windows — without any party
+ever holding a user's full movement history.  Each tower's service
+area is a spatial range; queries are dispatched only to the sensors on
+the area's perimeter.
+
+This example deploys a *submodular* configuration: the tower service
+areas are known in advance (the query distribution is known, §4.4), so
+sensor placement is optimised for exactly those regions — and the
+resulting counts are exact for every tower area.
+
+Run:  python examples/cell_tower_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FrameworkConfig, InNetworkFramework
+from repro.geometry import BBox
+from repro.mobility import organic_city
+from repro.trajectories import WorkloadConfig, generate_workload
+
+N_TOWERS = 6
+HOURS = 24
+
+
+def main() -> None:
+    road = organic_city(blocks=250, rng=np.random.default_rng(3))
+    framework = InNetworkFramework.from_road_graph(road)
+    domain = framework.domain
+    bounds = domain.bounds
+
+    # Tower service areas: a 3x2 grid of rectangular cells over the
+    # city core (real deployments would use the actual sector maps).
+    rng = np.random.default_rng(5)
+    towers = {}
+    for index in range(N_TOWERS):
+        col, row = index % 3, index // 3
+        cx = bounds.min_x + bounds.width * (0.22 + 0.28 * col)
+        cy = bounds.min_y + bounds.height * (0.3 + 0.4 * row)
+        towers[f"tower-{index}"] = BBox.from_center(
+            (cx, cy),
+            bounds.width * rng.uniform(0.2, 0.3),
+            bounds.height * rng.uniform(0.2, 0.3),
+        )
+
+    # The query distribution is known: register the service areas as
+    # historical query regions, then deploy submodular-selected walls.
+    for area in towers.values():
+        framework.record_query_region(area)
+    network = framework.deploy(
+        FrameworkConfig(selector="submodular", budget=400)
+    )
+    print(f"Submodular deployment: {len(network.sensors)} sensors, "
+          f"{len(network.walls)} monitored edges "
+          f"({network.size_fraction:.1%} of blocks)\n")
+
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(n_trips=6000, horizon_days=1.0,
+                       mean_dwell=5400.0, seed=17),
+    )
+    framework.ingest_trips(workload.trips)
+
+    # Hourly load per tower: the operator's dashboard.
+    print("Users inside each service area (per 4-hour snapshot)")
+    header = "hour  " + "".join(f"{name:>10}" for name in towers)
+    print(header)
+    print("-" * len(header))
+    for hour in range(0, HOURS, 4):
+        t = hour * 3600.0
+        row = [f"{hour:02d}:00"]
+        for name, area in towers.items():
+            result = framework.query(area, 0.0, max(t, 1.0))
+            row.append(f"{result.value:10.0f}" if not result.missed
+                       else f"{'miss':>10}")
+        print("  ".join(row))
+
+    # Accuracy check against the exact count at the evening peak.
+    print("\nAccuracy at 18:00 (estimate vs exact, sensors contacted)")
+    t = 18 * 3600.0
+    for name, area in towers.items():
+        approx = framework.query(area, 0.0, t)
+        exact = framework.query_exact(area, 0.0, t)
+        if approx.missed:
+            print(f"  {name}: miss")
+            continue
+        error = (abs(approx.value - exact.value) / exact.value
+                 if exact.value else 0.0)
+        print(f"  {name}: {approx.value:5.0f} vs {exact.value:5.0f} "
+              f"(err {error:5.1%}, {approx.nodes_accessed} sensors vs "
+              f"{exact.nodes_accessed} flooded)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""Differential-privacy budget exploration.
+
+The paper defers formal privacy guarantees to Ghosh et al. [20] but
+notes the framework "can be extended ... to include privacy
+guarantees".  The library ships that extension as a wrapper: Laplace
+noise with scale 1/epsilon on every released per-edge count.  This
+example sweeps the privacy budget and shows the resulting
+accuracy/privacy trade-off on real queries — small epsilon (strong
+privacy) costs accuracy proportionally to the boundary length, since
+each boundary edge contributes independent noise.
+
+Run:  python examples/privacy_budget.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.forms import LaplaceNoisyStore
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, organic_city
+from repro.query import QueryEngine, RangeQuery
+from repro.sampling import sampled_network
+from repro.selection import KDTreeSelector, SensorCandidates
+from repro.trajectories import WorkloadConfig, generate_workload
+
+EPSILONS = (0.1, 0.5, 1.0, 5.0, float("inf"))
+
+
+def main() -> None:
+    domain = MobilityDomain(
+        organic_city(blocks=200, rng=np.random.default_rng(21))
+    )
+    candidates = SensorCandidates.from_domain(domain)
+    sensors = KDTreeSelector().select(
+        candidates, 60, np.random.default_rng(2)
+    )
+    network = sampled_network(domain, sensors)
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(n_trips=5000, horizon_days=1.0,
+                       mean_dwell=5400.0, seed=8),
+    )
+    form = network.build_form(workload.events(domain))
+
+    boxes = [
+        BBox.from_center(domain.bounds.center, 5.0, 5.0),
+        BBox(1.0, 1.0, 6.0, 6.0),
+        BBox(4.0, 4.0, 9.5, 9.5),
+    ]
+    queries = [
+        RangeQuery(box, 0.0, hour * 3600.0)
+        for box in boxes
+        for hour in (9, 13, 18, 21)
+    ]
+
+    exact_engine = QueryEngine(network, form)
+    exact_values = {}
+    for query in queries:
+        result = exact_engine.execute(query)
+        if not result.missed and result.value > 0:
+            exact_values[query] = result.value
+
+    print(f"{len(exact_values)} answerable queries; "
+          "mean noisy error per privacy budget:\n")
+    print(f"{'epsilon':>10} {'mean rel. error':>16} {'interpretation'}")
+    for epsilon in EPSILONS:
+        if np.isinf(epsilon):
+            print(f"{'inf':>10} {0.0:>16.3f} no noise (baseline)")
+            continue
+        errors = []
+        for seed in range(5):
+            store = LaplaceNoisyStore(form, epsilon=epsilon, seed=seed)
+            engine = QueryEngine(network, store)
+            for query, exact in exact_values.items():
+                noisy = engine.execute(query)
+                errors.append(abs(noisy.value - exact) / exact)
+        label = ("strong privacy" if epsilon < 0.5
+                 else "moderate" if epsilon <= 1 else "weak privacy")
+        print(f"{epsilon:>10.1f} {np.mean(errors):>16.3f} {label}")
+
+    print("\nEach released count has Laplace(1/epsilon) noise; a query "
+          "summing B boundary\nedges accumulates ~sqrt(2B)/epsilon "
+          "absolute error, so privacy is cheapest\nfor queries with "
+          "short perimeters — another argument for sampling, which\n"
+          "shortens perimeters by merging regions.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Sensor placement planning: comparing selection strategies.
+
+A city planner has budget for sensors on a fraction of city blocks and
+wants to know which placement strategy to deploy — and how accuracy
+degrades as the budget shrinks.  This example sweeps every selector in
+the library over three budgets and prints the resulting accuracy,
+communication and coverage characteristics, using the low-level
+pipeline API (the benchmarks' machinery) directly.
+
+Run:  python examples/sensor_placement_planning.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.evaluation import (
+    PipelineConfig,
+    QueryWorkloadConfig,
+    evaluate,
+    format_table,
+    get_pipeline,
+)
+
+BUDGET_FRACTIONS = (0.064, 0.128, 0.256)
+SELECTORS = (
+    "uniform",
+    "systematic",
+    "stratified",
+    "kdtree",
+    "quadtree",
+    "submodular",
+)
+
+
+def main() -> None:
+    config = PipelineConfig(blocks=400, n_trips=4000, horizon_days=1.0)
+    pipeline = get_pipeline(config)
+    domain = pipeline.domain
+    print(f"Planning domain: {domain.block_count} candidate blocks, "
+          f"{domain.junction_count} junctions\n")
+
+    queries = pipeline.standard_queries(0.0864, n=15)
+
+    rows = []
+    for fraction in BUDGET_FRACTIONS:
+        budget = pipeline.budget_for_fraction(fraction)
+        for selector in SELECTORS:
+            network = pipeline.network(selector, budget, seed=1)
+            engine = pipeline.engine(network)
+            report = evaluate(pipeline, engine.execute, queries)
+            rows.append(
+                [
+                    f"{fraction:.1%}",
+                    selector,
+                    len(network.sensors),
+                    len(network.walls),
+                    network.region_count,
+                    report.error.median,
+                    report.miss_rate,
+                    report.nodes_accessed.mean,
+                ]
+            )
+    print(
+        format_table(
+            (
+                "budget",
+                "selector",
+                "sensors",
+                "walls",
+                "regions",
+                "rel.err",
+                "miss",
+                "nodes/query",
+            ),
+            rows,
+        )
+    )
+
+    print(
+        "\nReading the table: submodular exploits the known query "
+        "workload;\nkd-tree/QuadTree are the strongest oblivious "
+        "samplers; every\nstrategy improves as the budget grows "
+        "(Figs. 11a/12a of the paper)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Baseline systems (S12): Euler-histogram face sampling and
+FM-sketch distinct counting (the paper's references [15]/[19]/[36])."""
+
+from .euler import EulerHistogramBaseline
+from .sketches import FMSketch, SketchBaseline
+
+__all__ = ["EulerHistogramBaseline", "FMSketch", "SketchBaseline"]

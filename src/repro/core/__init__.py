@@ -1,0 +1,6 @@
+"""Public framework API (system S13)."""
+
+from .config import FrameworkConfig
+from .framework import InNetworkFramework
+
+__all__ = ["FrameworkConfig", "InNetworkFramework"]

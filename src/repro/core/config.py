@@ -1,0 +1,64 @@
+"""Framework configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class FrameworkConfig:
+    """Deployment configuration for :class:`~repro.core.InNetworkFramework`.
+
+    ``selector`` is one of ``uniform``, ``systematic``, ``stratified``,
+    ``kdtree``, ``quadtree`` or ``submodular`` (the latter requires a
+    query history).  ``budget`` is the number of communication sensors.
+    ``connectivity`` is ``triangulation`` or ``knn`` (§4.5);
+    ``store`` picks the count representation: ``exact`` timestamps or
+    one of the learned models (``linear``, ``polynomial``,
+    ``piecewise``, ``histogram``) from §4.8.
+    """
+
+    selector: str = "quadtree"
+    budget: int = 50
+    connectivity: str = "triangulation"
+    knn_k: int = 5
+    store: str = "exact"
+    seed: int = 0
+
+    _SELECTORS = (
+        "uniform",
+        "systematic",
+        "stratified",
+        "kdtree",
+        "quadtree",
+        "submodular",
+    )
+    _STORES = (
+        "exact",
+        "linear",
+        "polynomial",
+        "piecewise",
+        "histogram",
+        "periodic",
+    )
+
+    def __post_init__(self) -> None:
+        if self.selector not in self._SELECTORS:
+            raise ConfigurationError(
+                f"unknown selector {self.selector!r}; "
+                f"choose from {self._SELECTORS}"
+            )
+        if self.connectivity not in ("triangulation", "knn"):
+            raise ConfigurationError(
+                f"unknown connectivity {self.connectivity!r}"
+            )
+        if self.store not in self._STORES:
+            raise ConfigurationError(
+                f"unknown store {self.store!r}; choose from {self._STORES}"
+            )
+        if self.budget < 2:
+            raise ConfigurationError("budget must be at least 2 sensors")
+        if self.knn_k < 1:
+            raise ConfigurationError("knn_k must be >= 1")

@@ -1,0 +1,219 @@
+"""The public framework facade: deploy -> ingest -> query.
+
+:class:`InNetworkFramework` wires the substrates into the paper's
+pipeline with a small surface:
+
+>>> framework = InNetworkFramework.from_road_graph(road)
+>>> framework.deploy(FrameworkConfig(selector="quadtree", budget=50))
+>>> framework.ingest_trips(trips)
+>>> result = framework.query(box, t1, t2)          # lower-bound static
+>>> result.value, result.nodes_accessed
+
+The framework keeps both the deployed (sampled) configuration and the
+full reference network, so callers can ask for the exact answer too
+(``query_exact``) and measure the approximation themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Set
+
+import numpy as np
+
+from ..errors import ConfigurationError, QueryError
+from ..forms import EdgeCountStore, TrackingForm
+from ..geometry import BBox
+from ..mobility import MobilityDomain, voronoi_strata
+from ..models import (
+    LinearModel,
+    ModeledCountStore,
+    PeriodicModel,
+    PiecewiseLinearModel,
+    PolynomialModel,
+    StepHistogramModel,
+)
+from ..planar import NodeId, PlanarGraph
+from ..query import LOWER, STATIC, QueryEngine, QueryResult, RangeQuery
+from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
+from ..selection import (
+    KDTreeSelector,
+    QuadTreeSelector,
+    SensorCandidates,
+    StratifiedSelector,
+    SubmodularSelector,
+    SystematicSelector,
+    UniformSelector,
+)
+from ..trajectories import CrossingEvent, Trip, all_events
+from .config import FrameworkConfig
+
+_MODEL_FACTORIES = {
+    "linear": LinearModel,
+    "polynomial": PolynomialModel,
+    "piecewise": PiecewiseLinearModel,
+    "histogram": StepHistogramModel,
+    "periodic": PeriodicModel,
+}
+
+
+class InNetworkFramework:
+    """End-to-end in-network spatiotemporal range-count framework."""
+
+    def __init__(self, domain: MobilityDomain) -> None:
+        self.domain = domain
+        self.config: Optional[FrameworkConfig] = None
+        self.network: Optional[SensorNetwork] = None
+        self._events: List[CrossingEvent] = []
+        self._form: Optional[TrackingForm] = None
+        self._full_form: Optional[TrackingForm] = None
+        self._store: Optional[EdgeCountStore] = None
+        self._full = full_network(domain)
+        self._query_history: List[Set[NodeId]] = []
+
+    @classmethod
+    def from_road_graph(cls, road_graph: PlanarGraph) -> "InNetworkFramework":
+        """Build the framework from a planar road network."""
+        return cls(MobilityDomain(road_graph))
+
+    # ------------------------------------------------------------------
+    # Deployment
+    # ------------------------------------------------------------------
+    def record_query_region(self, box: BBox) -> None:
+        """Register a historical query region for submodular deployment."""
+        junctions = self.domain.junctions_in_bbox(box)
+        if junctions:
+            self._query_history.append(junctions)
+
+    def deploy(self, config: FrameworkConfig = FrameworkConfig()) -> SensorNetwork:
+        """Select sensors and materialise the sampled sensing network.
+
+        Re-deploying re-ingests previously ingested events into the new
+        configuration automatically.
+        """
+        rng = np.random.default_rng(config.seed)
+        candidates = SensorCandidates.from_domain(self.domain)
+        budget = min(config.budget, len(candidates))
+
+        if config.selector == "submodular":
+            if not self._query_history:
+                raise ConfigurationError(
+                    "submodular deployment needs record_query_region() "
+                    "calls (historical query regions) first"
+                )
+            plan = SubmodularSelector(self.domain, self._query_history).plan(
+                budget
+            )
+            network = wall_network(
+                self.domain, plan.walls, plan.sensors, name="submodular"
+            )
+        else:
+            selector = {
+                "uniform": UniformSelector,
+                "systematic": SystematicSelector,
+                "kdtree": KDTreeSelector,
+                "quadtree": QuadTreeSelector,
+            }.get(config.selector)
+            if selector is not None:
+                chosen = selector().select(candidates, budget, rng)
+            else:  # stratified
+                strata = voronoi_strata(
+                    self.domain.bounds, rng=np.random.default_rng(config.seed)
+                )
+                chosen = StratifiedSelector(strata).select(
+                    candidates, budget, rng
+                )
+            network = sampled_network(
+                self.domain,
+                chosen,
+                connectivity=config.connectivity,
+                k=config.knn_k,
+                name=config.selector,
+            )
+
+        self.config = config
+        self.network = network
+        self._form = None
+        self._store = None
+        if self._events:
+            self._rebuild_stores()
+        return network
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def ingest_trips(self, trips: Sequence[Trip]) -> int:
+        """Ingest trips as anonymous crossing events."""
+        return self.ingest_events(all_events(self.domain, trips))
+
+    def ingest_events(self, events: Iterable[CrossingEvent]) -> int:
+        """Ingest an anonymous crossing-event stream."""
+        events = list(events)
+        self._events.extend(events)
+        self._rebuild_stores()
+        return len(events)
+
+    def _rebuild_stores(self) -> None:
+        self._full_form = self._full.build_form(self._events)
+        if self.network is None:
+            return
+        self._form = self.network.build_form(self._events)
+        if self.config is not None and self.config.store != "exact":
+            factory = _MODEL_FACTORIES[self.config.store]
+            self._store = ModeledCountStore.fit(self._form, factory)
+        else:
+            self._store = self._form
+
+    # ------------------------------------------------------------------
+    # Querying
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        box: BBox,
+        t1: float,
+        t2: float,
+        kind: str = STATIC,
+        bound: str = LOWER,
+    ) -> QueryResult:
+        """Answer a range count query on the deployed sampled network."""
+        if self.network is None or self._store is None:
+            raise QueryError("deploy() and ingest first")
+        engine = QueryEngine(self.network, self._store)
+        return engine.execute(RangeQuery(box, t1, t2, kind=kind, bound=bound))
+
+    def query_exact(
+        self,
+        box: BBox,
+        t1: float,
+        t2: float,
+        kind: str = STATIC,
+    ) -> QueryResult:
+        """Exact answer from the full (unsampled) sensing graph."""
+        if self._full_form is None:
+            raise QueryError("ingest trips or events first")
+        engine = QueryEngine(self._full, self._full_form, access_mode="flood")
+        return engine.execute(RangeQuery(box, t1, t2, kind=kind))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def storage_bytes(self) -> int:
+        """Storage of the deployed count representation."""
+        if isinstance(self._store, ModeledCountStore):
+            return self._store.storage_bytes
+        if self._form is not None:
+            return self._form.total_events * 8
+        return 0
+
+    @property
+    def deployed_fraction(self) -> float:
+        if self.network is None:
+            return 0.0
+        return self.network.size_fraction
+
+    def __repr__(self) -> str:
+        deployed = self.network.name if self.network else "undeployed"
+        return (
+            f"InNetworkFramework({self.domain!r}, deployed={deployed!r}, "
+            f"events={len(self._events)})"
+        )

@@ -1,0 +1,405 @@
+"""Shared experiment pipeline for the paper's evaluation (§5).
+
+Every benchmark reproduces a figure by sweeping one axis over the same
+cached pipeline: one synthetic city (the Beijing substitute), one trip
+workload (the T-Drive/Geolife substitute), one full sensing network
+with its exact tracking form (the ground-truth reference η), and a
+cache of sampled networks keyed by (selector, budget, connectivity,
+seed).
+
+The module-level :func:`get_pipeline` memoises pipelines by config so a
+pytest-benchmark session builds each at most once.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..baseline import EulerHistogramBaseline
+from ..errors import ConfigurationError, SelectionError
+from ..forms import TrackingForm
+from ..mobility import (
+    MobilityDomain,
+    grid_city,
+    organic_city,
+    radial_city,
+    voronoi_strata,
+)
+from ..planar import NodeId
+from ..query import QueryEngine, QueryResult, RangeQuery
+from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
+from ..selection import (
+    KDTreeSelector,
+    QuadTreeSelector,
+    Selector,
+    SensorCandidates,
+    StratifiedSelector,
+    SubmodularSelector,
+    SystematicSelector,
+    UniformSelector,
+)
+from ..trajectories import Workload, WorkloadConfig, generate_workload
+from .metrics import Summary, ratio, relative_error
+from .workloads import QueryWorkloadConfig, generate_queries, queries_to_regions
+
+#: Selector names accepted by :meth:`Pipeline.network`.
+SELECTOR_NAMES = (
+    "uniform",
+    "systematic",
+    "stratified",
+    "kdtree",
+    "quadtree",
+    "submodular",
+)
+
+#: Query-area fractions swept by the figure benchmarks (x-axis of
+#: Figs. 11b/12b; the fixed-area experiments use the middle value).
+#: Calibration note: the paper fixes 1.08% on a ~30k-sensor network;
+#: at our ~1k-sensor scale the equivalent query-to-face size ratio is
+#: reached around 8.6%, so the standard battery is shifted upward.
+STANDARD_AREA_FRACTIONS = (0.0216, 0.0432, 0.0864, 0.1728, 0.3456)
+
+#: The fixed query area used by graph-size sweeps (Figs. 11a/12a).
+FIXED_QUERY_AREA = 0.0864
+
+#: Sampled-graph size fractions swept by the benchmarks
+#: (x-axis of Figs. 11a/12a/13; doubling steps as in the paper).
+STANDARD_SIZE_FRACTIONS = (0.008, 0.016, 0.032, 0.064, 0.128, 0.256, 0.512)
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Scale and seeds for one experiment pipeline."""
+
+    city: str = "organic"
+    blocks: int = 1000
+    road_seed: int = 3
+    n_trips: int = 8000
+    horizon_days: float = 2.0
+    mean_dwell: float = 7200.0
+    trip_seed: int = 5
+    #: Historical queries per standard area fraction; the union over
+    #: :data:`STANDARD_AREA_FRACTIONS` is the submodular history (the
+    #: paper's "100 query regions ... as the historical data").
+    history_per_fraction: int = 20
+    query_seed: int = 13
+    districts: int = 8
+
+    def __post_init__(self) -> None:
+        if self.city not in ("organic", "grid", "radial"):
+            raise ConfigurationError(f"unknown city kind {self.city!r}")
+
+
+#: The default scale used by the figure benchmarks.
+DEFAULT_CONFIG = PipelineConfig()
+
+#: A small configuration for fast tests.
+SMALL_CONFIG = PipelineConfig(
+    blocks=80, n_trips=600, history_per_fraction=5
+)
+
+
+class Pipeline:
+    """Cached experiment state shared by all benchmarks of a config."""
+
+    def __init__(self, config: PipelineConfig) -> None:
+        self.config = config
+        rng = np.random.default_rng(config.road_seed)
+        if config.city == "organic":
+            road = organic_city(blocks=config.blocks, rng=rng)
+        elif config.city == "grid":
+            side = max(int(round(np.sqrt(config.blocks))) + 1, 3)
+            road = grid_city(rows=side, cols=side, rng=rng)
+        else:
+            spokes = max(int(np.sqrt(config.blocks * 2)), 4)
+            rings = max(config.blocks // spokes, 2)
+            road = radial_city(rings=rings, spokes=spokes, rng=rng)
+        self.domain = MobilityDomain(road)
+
+        self.workload: Workload = generate_workload(
+            self.domain,
+            WorkloadConfig(
+                n_trips=config.n_trips,
+                horizon_days=config.horizon_days,
+                mean_dwell=config.mean_dwell,
+                seed=config.trip_seed,
+            ),
+        )
+        self.events = self.workload.events(self.domain)
+        self.horizon = self.workload.horizon
+
+        self.full = full_network(self.domain)
+        self.full_form = self.full.build_form(self.events)
+        #: The paper's reference: exact counts on the unsampled graph,
+        #: flooding every sensor in the region (Fig. 11c behaviour).
+        self.exact_engine = QueryEngine(
+            self.full, self.full_form, access_mode="flood"
+        )
+
+        self.candidates = SensorCandidates.from_domain(self.domain)
+        self.strata = voronoi_strata(
+            self.domain.bounds,
+            districts=config.districts,
+            rng=np.random.default_rng(config.road_seed + 1),
+        )
+        history_queries: List[RangeQuery] = []
+        for fraction in STANDARD_AREA_FRACTIONS:
+            history_queries.extend(
+                self.standard_queries(
+                    fraction, n=config.history_per_fraction
+                )
+            )
+        self.history_regions: List[Set[NodeId]] = queries_to_regions(
+            self.domain, history_queries
+        )
+
+        self._networks: Dict[Tuple, SensorNetwork] = {}
+        self._forms: Dict[Tuple, TrackingForm] = {}
+        self._baselines: Dict[Tuple[int, int], EulerHistogramBaseline] = {}
+        self._exact_cache: Dict[RangeQuery, QueryResult] = {}
+
+    # ------------------------------------------------------------------
+    # Selectors and networks
+    # ------------------------------------------------------------------
+    def selector(self, name: str) -> Selector:
+        if name == "uniform":
+            return UniformSelector()
+        if name == "systematic":
+            return SystematicSelector()
+        if name == "stratified":
+            return StratifiedSelector(self.strata)
+        if name == "kdtree":
+            return KDTreeSelector()
+        if name == "quadtree":
+            return QuadTreeSelector()
+        if name == "submodular":
+            return SubmodularSelector(self.domain, self.history_regions)
+        raise SelectionError(f"unknown selector {name!r}")
+
+    def budget_for_fraction(self, fraction: float) -> int:
+        """Sensor budget for a sampled-graph size fraction (x-axes)."""
+        return max(int(round(fraction * self.domain.block_count)), 2)
+
+    def network(
+        self,
+        selector_name: str,
+        m: int,
+        seed: int = 0,
+        connectivity: str = "triangulation",
+        k: int = 5,
+    ) -> SensorNetwork:
+        """Build (or fetch) a sampled network configuration."""
+        key = (selector_name, m, seed, connectivity, k)
+        network = self._networks.get(key)
+        if network is not None:
+            return network
+        rng = np.random.default_rng(seed)
+        if selector_name == "submodular":
+            # Fair budget: a sampled graph's m communication sensors
+            # monitor every wall its routed edges cross; give the
+            # submodular plan the same number of monitored edges as a
+            # reference sampled graph of equal sensor budget.
+            reference = self.network("quadtree", m, seed=0, connectivity=connectivity, k=k)
+            edge_budget = max(len(reference.walls), m)
+            plan = SubmodularSelector(self.domain, self.history_regions).plan(
+                edge_budget, budget_unit="edges"
+            )
+            network = wall_network(
+                self.domain,
+                plan.walls,
+                plan.sensors,
+                name=f"submodular-m{m}",
+            )
+        else:
+            chosen = self.selector(selector_name).select(
+                self.candidates, min(m, len(self.candidates)), rng
+            )
+            network = sampled_network(
+                self.domain,
+                chosen,
+                connectivity=connectivity,
+                k=k,
+                name=f"{selector_name}-m{m}-{connectivity}",
+            )
+        self._networks[key] = network
+        return network
+
+    def form(self, network: SensorNetwork) -> TrackingForm:
+        """Ingest the event stream into a network's tracking form."""
+        key = (id(network), network.name)
+        form = self._forms.get(key)
+        if form is None:
+            form = network.build_form(self.events)
+            self._forms[key] = form
+        return form
+
+    def engine(
+        self,
+        network: SensorNetwork,
+        store=None,
+        access_mode: str = "perimeter",
+    ) -> QueryEngine:
+        return QueryEngine(
+            network,
+            store if store is not None else self.form(network),
+            access_mode=access_mode,
+        )
+
+    def baseline(self, m: int, seed: int = 0) -> EulerHistogramBaseline:
+        """Ingested Euler-histogram baseline with ``m`` sampled faces."""
+        key = (m, seed)
+        instance = self._baselines.get(key)
+        if instance is None:
+            instance = EulerHistogramBaseline(
+                self.domain,
+                m=min(m, self.domain.junction_count),
+                rng=np.random.default_rng(seed),
+            )
+            instance.ingest(self.events)
+            self._baselines[key] = instance
+        return instance
+
+    # ------------------------------------------------------------------
+    # Query evaluation
+    # ------------------------------------------------------------------
+    def queries(self, config: QueryWorkloadConfig) -> List[RangeQuery]:
+        return generate_queries(self.domain, self.horizon, config)
+
+    def standard_queries(
+        self,
+        area_fraction: float,
+        kind: str = "static",
+        bound: str = "lower",
+        n: Optional[int] = None,
+    ) -> List[RangeQuery]:
+        """The canonical query battery for one area fraction.
+
+        Deterministic per (pipeline seed, area fraction) and independent
+        of ``kind``/``bound``, so the same rectangles serve the static,
+        transient, lower- and upper-bound experiments, and the first
+        ``history_per_fraction`` queries of every standard fraction are
+        exactly the submodular selector's historical workload.
+        """
+        count = n if n is not None else self.config.history_per_fraction
+        return self.queries(
+            QueryWorkloadConfig(
+                n_queries=count,
+                area_fraction=area_fraction,
+                kind=kind,
+                bound=bound,
+                seed=self.config.query_seed + int(round(area_fraction * 1e6)),
+            )
+        )
+
+    def baseline_for_fraction(self, fraction: float, seed: int = 0):
+        """Euler baseline sized by the same graph-size fraction."""
+        m = max(int(round(fraction * self.domain.junction_count)), 1)
+        return self.baseline(m, seed=seed)
+
+    def exact(self, query: RangeQuery) -> QueryResult:
+        """Reference result on the unsampled graph (cached)."""
+        reference = query.with_bound("lower")
+        cached = self._exact_cache.get(reference)
+        if cached is None:
+            cached = self.exact_engine.execute(reference)
+            self._exact_cache[reference] = cached
+        return cached
+
+
+@dataclass
+class EvalReport:
+    """Aggregated comparison of a configuration against the reference."""
+
+    label: str
+    error: Summary
+    ratio: Summary
+    miss_rate: float
+    nodes_accessed: Summary
+    edges_accessed: Summary
+    elapsed: Summary
+    exact_elapsed: Summary
+    exact_nodes: Summary
+    n_queries: int
+
+    @property
+    def speedup(self) -> float:
+        if self.elapsed.mean and self.elapsed.count:
+            return self.exact_elapsed.mean / self.elapsed.mean
+        return float("nan")
+
+    @property
+    def node_access_reduction(self) -> float:
+        if self.exact_nodes.mean and self.nodes_accessed.count:
+            return 1.0 - self.nodes_accessed.mean / self.exact_nodes.mean
+        return float("nan")
+
+
+def evaluate(
+    pipeline: Pipeline,
+    execute: Callable[[RangeQuery], QueryResult],
+    queries: Sequence[RangeQuery],
+    label: str = "",
+) -> EvalReport:
+    """Run a query batch and compare against the unsampled reference.
+
+    ``execute`` is any callable mapping a query to a
+    :class:`QueryResult` (a :class:`QueryEngine`'s ``execute`` or a
+    baseline's).  Relative errors are computed over non-missed queries
+    with a non-zero reference count, as in §5.1.4.
+    """
+    errors: List[float] = []
+    ratios: List[float] = []
+    nodes: List[float] = []
+    edges: List[float] = []
+    elapsed: List[float] = []
+    exact_elapsed: List[float] = []
+    exact_nodes: List[float] = []
+    misses = 0
+    for query in queries:
+        reference = pipeline.exact(query)
+        exact_elapsed.append(reference.elapsed)
+        exact_nodes.append(reference.nodes_accessed)
+        result = execute(query)
+        if result.missed:
+            misses += 1
+            continue
+        nodes.append(result.nodes_accessed)
+        edges.append(result.edges_accessed)
+        elapsed.append(result.elapsed)
+        err = relative_error(reference.value, result.value)
+        if err is not None:
+            errors.append(err)
+        rat = ratio(reference.value, result.value)
+        if rat is not None:
+            ratios.append(rat)
+    return EvalReport(
+        label=label,
+        error=Summary.of(errors),
+        ratio=Summary.of(ratios),
+        miss_rate=misses / max(len(queries), 1),
+        nodes_accessed=Summary.of(nodes),
+        edges_accessed=Summary.of(edges),
+        elapsed=Summary.of(elapsed),
+        exact_elapsed=Summary.of(exact_elapsed),
+        exact_nodes=Summary.of(exact_nodes),
+        n_queries=len(queries),
+    )
+
+
+# ----------------------------------------------------------------------
+# Module-level memoisation
+# ----------------------------------------------------------------------
+_PIPELINES: Dict[PipelineConfig, Pipeline] = {}
+
+
+def get_pipeline(config: PipelineConfig = DEFAULT_CONFIG) -> Pipeline:
+    """Build (once) and return the pipeline for a config."""
+    pipeline = _PIPELINES.get(config)
+    if pipeline is None:
+        pipeline = Pipeline(config)
+        _PIPELINES[config] = pipeline
+    return pipeline

@@ -1,0 +1,35 @@
+"""Discrete differential forms for distinct counting (system S3).
+
+Implements §4.7 of the paper: snapshot forms (Eq. 7 / Theorem 4.1),
+timestamped tracking forms (Eq. 8 / Theorems 4.2-4.3), the count
+function interface shared with the learned models, and an optional
+differential-privacy wrapper.
+"""
+
+from .calculus import (
+    circulation,
+    coboundary,
+    face_divergence,
+    integrate_potential,
+    is_exact,
+)
+from .countfn import DirectedEdge, EdgeCountStore, static_count, transient_count
+from .privacy import LaplaceNoisyStore
+from .snapshot import DifferentialForm, SnapshotForm
+from .tracking import TrackingForm
+
+__all__ = [
+    "DifferentialForm",
+    "DirectedEdge",
+    "EdgeCountStore",
+    "LaplaceNoisyStore",
+    "SnapshotForm",
+    "TrackingForm",
+    "circulation",
+    "coboundary",
+    "face_divergence",
+    "integrate_potential",
+    "is_exact",
+    "static_count",
+    "transient_count",
+]

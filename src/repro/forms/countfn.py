@@ -1,0 +1,47 @@
+"""The count-function interface ``C(γ(e), t)`` (§4.7.3).
+
+Both the exact :class:`repro.forms.TrackingForm` and the learned stores
+in :mod:`repro.models` implement :class:`EdgeCountStore`; the query
+engine is written against this protocol so that swapping exact counting
+for regression inference (§4.8) is a one-argument change.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, Protocol, Tuple, runtime_checkable
+
+DirectedEdge = Tuple[Hashable, Hashable]
+
+
+@runtime_checkable
+class EdgeCountStore(Protocol):
+    """Anything that can answer cumulative crossing counts per edge."""
+
+    def count_entering(self, edge: DirectedEdge, t: float) -> float:
+        """``C(γ⁺(e), t)`` — crossings in the direction of ``edge`` up to t."""
+        ...
+
+    def net_until(self, edge: DirectedEdge, t: float) -> float:
+        """``C(γ⁺(e), t) - C(γ⁻(e), t)``."""
+        ...
+
+    def net_between(self, edge: DirectedEdge, t1: float, t2: float) -> float:
+        """Net crossings during ``(t1, t2]``."""
+        ...
+
+
+def static_count(
+    store: EdgeCountStore, boundary: Iterable[DirectedEdge], t: float
+) -> float:
+    """Theorem 4.2 evaluated through any count store."""
+    return sum(store.net_until(edge, t) for edge in boundary)
+
+
+def transient_count(
+    store: EdgeCountStore,
+    boundary: Iterable[DirectedEdge],
+    t1: float,
+    t2: float,
+) -> float:
+    """Theorem 4.3 evaluated through any count store."""
+    return sum(store.net_between(edge, t1, t2) for edge in boundary)

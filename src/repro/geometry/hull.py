@@ -1,0 +1,40 @@
+"""Convex hull (Andrew's monotone chain).
+
+Used when seeding the query-adaptive region growth and as a helper for
+tests that need a guaranteed-simple polygon around sampled points.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from ..errors import GeometryError
+from .primitives import Point
+from .predicates import cross
+
+
+def convex_hull(points: Sequence[Point]) -> List[Point]:
+    """Convex hull in counter-clockwise order, first point lexicographic min.
+
+    Collinear points on the hull boundary are dropped.  Requires at
+    least one point; one or two (distinct) points return themselves.
+    """
+    unique = sorted(set((float(x), float(y)) for x, y in points))
+    if not unique:
+        raise GeometryError("convex hull of zero points")
+    if len(unique) <= 2:
+        return unique
+
+    lower: List[Point] = []
+    for p in unique:
+        while len(lower) >= 2 and cross(lower[-2], lower[-1], p) <= 0:
+            lower.pop()
+        lower.append(p)
+
+    upper: List[Point] = []
+    for p in reversed(unique):
+        while len(upper) >= 2 and cross(upper[-2], upper[-1], p) <= 0:
+            upper.pop()
+        upper.append(p)
+
+    return lower[:-1] + upper[:-1]

@@ -1,0 +1,112 @@
+"""Map matching of raw GPS-like traces onto the mobility graph (§5.1.3).
+
+The paper maps "each trajectory location to the nearest node and
+connect[s] them via the shortest path in the graph"; this module does
+exactly that: nearest-junction snapping via a kd-tree, consecutive
+duplicates collapsed, gaps filled with Euclidean-shortest paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..geometry import Point
+from ..planar import NodeId, PlanarGraph
+
+
+@dataclass
+class MapMatcher:
+    """Snaps raw coordinate traces to junction sequences of ``*G``."""
+
+    graph: PlanarGraph
+
+    def __post_init__(self) -> None:
+        from scipy.spatial import cKDTree
+
+        self._nodes: List[NodeId] = list(self.graph.nodes())
+        if not self._nodes:
+            raise WorkloadError("cannot map-match onto an empty graph")
+        coords = np.array([self.graph.position(n) for n in self._nodes])
+        self._tree = cKDTree(coords)
+
+    def nearest_node(self, point: Point) -> NodeId:
+        """The junction closest to ``point``."""
+        _, index = self._tree.query(np.asarray(point, dtype=float))
+        return self._nodes[int(index)]
+
+    def nearest_nodes(self, points: Sequence[Point]) -> List[NodeId]:
+        if len(points) == 0:
+            return []
+        _, indices = self._tree.query(np.asarray(points, dtype=float))
+        return [self._nodes[int(i)] for i in np.atleast_1d(indices)]
+
+    def match(self, trace: Sequence[Point]) -> List[NodeId]:
+        """Match a coordinate trace to a connected junction sequence.
+
+        Consecutive identical snaps collapse; consecutive distinct snaps
+        are joined by the shortest path in the graph.  Unreachable pairs
+        raise :class:`~repro.errors.WorkloadError`.
+        """
+        if not trace:
+            return []
+        snapped = self.nearest_nodes(trace)
+        sequence: List[NodeId] = [snapped[0]]
+        for node in snapped[1:]:
+            if node == sequence[-1]:
+                continue
+            path = self.graph.shortest_path(sequence[-1], node)
+            if path is None:
+                raise WorkloadError(
+                    f"no path between matched junctions "
+                    f"{sequence[-1]!r} and {node!r}"
+                )
+            sequence.extend(path[1:])
+        return sequence
+
+    def match_timed(
+        self, trace: Sequence[Tuple[Point, float]]
+    ) -> List[Tuple[NodeId, float]]:
+        """Match a timestamped trace, interpolating times along paths.
+
+        Times must be non-decreasing.  Intermediate junctions introduced
+        by path filling get times interpolated by path length.
+        """
+        if not trace:
+            return []
+        times = [t for _, t in trace]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise WorkloadError("trace timestamps must be non-decreasing")
+
+        snapped = self.nearest_nodes([p for p, _ in trace])
+        result: List[Tuple[NodeId, float]] = [(snapped[0], times[0])]
+        for node, t in zip(snapped[1:], times[1:]):
+            last_node, last_t = result[-1]
+            if node == last_node:
+                # Dwell: keep the arrival time and track the departure
+                # as a second visit at the same junction (Trip encodes
+                # stays as repeated visits).
+                if t > last_t:
+                    if len(result) >= 2 and result[-2][0] == node:
+                        result[-1] = (node, t)
+                    else:
+                        result.append((node, t))
+                continue
+            path = self.graph.shortest_path(last_node, node)
+            if path is None:
+                raise WorkloadError(
+                    f"no path between matched junctions "
+                    f"{last_node!r} and {node!r}"
+                )
+            lengths = [
+                self.graph.edge_length(a, b) for a, b in zip(path, path[1:])
+            ]
+            total = sum(lengths) or 1.0
+            elapsed = 0.0
+            for (step, length) in zip(path[1:], lengths):
+                elapsed += length
+                result.append((step, last_t + (t - last_t) * elapsed / total))
+        return result

@@ -1,0 +1,219 @@
+"""Synthetic road-network (mobility graph ``*G``) generators.
+
+The paper evaluates on the Beijing road network extracted from
+OpenStreetMap (§5.1.1).  Offline we synthesise city-like planar road
+networks with the structural properties that matter to the framework:
+
+- ``grid_city``: Manhattan-like perturbed grid (the axis-aligned control
+  case the paper's dead-space discussion calls out);
+- ``radial_city``: ring-and-spoke layout (European-style core);
+- ``organic_city``: bounded Voronoi diagram of random seeds — curved
+  irregular blocks, the "real-world cities, except Manhattan" case that
+  motivates non-axis-aligned subdivision.
+
+All generators return a connected :class:`~repro.planar.PlanarGraph`
+with no degree-1 nodes (dead-end streets are pruned so that every face
+is a proper city block) spanning roughly ``[0, extent] x [0, extent]``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..geometry import Point
+from ..planar import PlanarGraph, largest_component, planarize, prune_degree_one
+
+
+def grid_city(
+    rows: int = 12,
+    cols: int = 12,
+    extent: float = 10.0,
+    jitter: float = 0.15,
+    drop_fraction: float = 0.08,
+    rng: np.random.Generator | None = None,
+) -> PlanarGraph:
+    """A perturbed grid road network.
+
+    ``jitter`` displaces junctions by up to that fraction of the block
+    size (0 gives a perfect Manhattan grid); ``drop_fraction`` removes
+    random street segments to create larger irregular blocks.
+    """
+    if rows < 2 or cols < 2:
+        raise ConfigurationError("grid_city needs at least a 2x2 grid")
+    if not 0 <= drop_fraction < 0.5:
+        raise ConfigurationError("drop_fraction must be in [0, 0.5)")
+    rng = rng or np.random.default_rng(0)
+    dx = extent / (cols - 1)
+    dy = extent / (rows - 1)
+    positions: Dict[Tuple[int, int], Point] = {}
+    for i in range(cols):
+        for j in range(rows):
+            jx = jy = 0.0
+            if 0 < i < cols - 1:
+                jx = float(rng.uniform(-jitter, jitter)) * dx
+            if 0 < j < rows - 1:
+                jy = float(rng.uniform(-jitter, jitter)) * dy
+            positions[(i, j)] = (i * dx + jx, j * dy + jy)
+
+    edges: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for i in range(cols):
+        for j in range(rows):
+            if i < cols - 1:
+                edges.append(((i, j), (i + 1, j)))
+            if j < rows - 1:
+                edges.append(((i, j), (i, j + 1)))
+
+    # Drop interior segments only, never the outer ring, so the graph
+    # stays connected with high probability; connectivity is restored by
+    # keeping the largest component anyway.
+    def _interior(e) -> bool:
+        (i1, j1), (i2, j2) = e
+        return all(
+            0 < i < cols - 1 or 0 < j < rows - 1 for i, j in ((i1, j1), (i2, j2))
+        ) and not (
+            (i1 in (0, cols - 1) and i2 in (0, cols - 1))
+            or (j1 in (0, rows - 1) and j2 in (0, rows - 1))
+        )
+
+    interior = [e for e in edges if _interior(e)]
+    n_drop = int(len(interior) * drop_fraction)
+    if n_drop:
+        drop_idx = rng.choice(len(interior), size=n_drop, replace=False)
+        dropped = {interior[i] for i in drop_idx}
+        edges = [e for e in edges if e not in dropped]
+
+    graph = PlanarGraph.from_edges(positions, edges)
+    return _finalise(graph)
+
+
+def radial_city(
+    rings: int = 5,
+    spokes: int = 12,
+    extent: float = 10.0,
+    jitter: float = 0.08,
+    rng: np.random.Generator | None = None,
+) -> PlanarGraph:
+    """A ring-and-spoke road network centred in the domain."""
+    if rings < 2 or spokes < 3:
+        raise ConfigurationError("radial_city needs >= 2 rings and >= 3 spokes")
+    rng = rng or np.random.default_rng(0)
+    centre = extent / 2.0
+    max_radius = extent * 0.48
+    positions: Dict[Tuple[int, int], Point] = {}
+    for r in range(1, rings + 1):
+        radius = max_radius * r / rings
+        for s in range(spokes):
+            theta = 2 * math.pi * s / spokes
+            theta += float(rng.uniform(-jitter, jitter)) / max(r, 1)
+            rad = radius * (1 + float(rng.uniform(-jitter, jitter)))
+            positions[(r, s)] = (
+                centre + rad * math.cos(theta),
+                centre + rad * math.sin(theta),
+            )
+    positions[(0, 0)] = (centre, centre)
+
+    edges: List[Tuple[Tuple[int, int], Tuple[int, int]]] = []
+    for s in range(spokes):
+        edges.append(((0, 0), (1, s)))
+        for r in range(1, rings):
+            edges.append((((r, s)), (r + 1, s)))
+    for r in range(1, rings + 1):
+        for s in range(spokes):
+            edges.append(((r, s), (r, (s + 1) % spokes)))
+
+    graph = PlanarGraph.from_edges(positions, edges)
+    return _finalise(graph)
+
+
+def organic_city(
+    blocks: int = 150,
+    extent: float = 10.0,
+    seed_relaxation: int = 1,
+    rng: np.random.Generator | None = None,
+) -> PlanarGraph:
+    """A Voronoi-cell road network: irregular curved-looking blocks.
+
+    Random seeds (optionally Lloyd-relaxed for more even block sizes)
+    are mirrored across the domain edges so every cell of an original
+    seed is bounded; the Voronoi ridges become streets.
+    """
+    if blocks < 4:
+        raise ConfigurationError("organic_city needs at least 4 blocks")
+    from scipy.spatial import Voronoi
+
+    rng = rng or np.random.default_rng(0)
+    seeds = rng.uniform(0.0, extent, size=(blocks, 2))
+
+    for _ in range(max(seed_relaxation, 0)):
+        seeds = _lloyd_step(seeds, extent)
+
+    mirrored = np.vstack(
+        [
+            seeds,
+            np.column_stack([-seeds[:, 0], seeds[:, 1]]),
+            np.column_stack([2 * extent - seeds[:, 0], seeds[:, 1]]),
+            np.column_stack([seeds[:, 0], -seeds[:, 1]]),
+            np.column_stack([seeds[:, 0], 2 * extent - seeds[:, 1]]),
+        ]
+    )
+    voronoi = Voronoi(mirrored)
+
+    # Keep ridges where at least one side is an original seed; with the
+    # mirror construction all such ridges have finite vertices.
+    positions: Dict[int, Point] = {}
+    edges: List[Tuple[int, int]] = []
+    margin = 1e-9
+    for (p1, p2), ridge in zip(voronoi.ridge_points, voronoi.ridge_vertices):
+        if p1 >= blocks and p2 >= blocks:
+            continue
+        if -1 in ridge:
+            continue  # unbounded ridge between mirrors; irrelevant
+        v1, v2 = ridge
+        a = tuple(voronoi.vertices[v1])
+        b = tuple(voronoi.vertices[v2])
+        if not all(
+            -margin <= c <= extent + margin for point in (a, b) for c in point
+        ):
+            # Clamp tiny numeric spill outside the domain.
+            a = (min(max(a[0], 0.0), extent), min(max(a[1], 0.0), extent))
+            b = (min(max(b[0], 0.0), extent), min(max(b[1], 0.0), extent))
+        positions[v1] = a
+        positions[v2] = b
+        if v1 != v2:
+            edges.append((v1, v2))
+
+    graph = planarize(positions, edges, snap_tolerance=1e-7)
+    return _finalise(graph)
+
+
+def _lloyd_step(seeds: np.ndarray, extent: float) -> np.ndarray:
+    """One Lloyd-relaxation step approximated on a sample grid."""
+    grid_n = 64
+    axis = np.linspace(0, extent, grid_n)
+    gx, gy = np.meshgrid(axis, axis)
+    samples = np.column_stack([gx.ravel(), gy.ravel()])
+    from scipy.spatial import cKDTree
+
+    _, owner = cKDTree(seeds).query(samples)
+    new_seeds = seeds.copy()
+    for i in range(len(seeds)):
+        mine = samples[owner == i]
+        if len(mine):
+            new_seeds[i] = mine.mean(axis=0)
+    return new_seeds
+
+
+def _finalise(graph: PlanarGraph) -> PlanarGraph:
+    """Largest component, dead ends pruned; validates non-emptiness."""
+    largest_component(graph)
+    prune_degree_one(graph)
+    if graph.node_count < 3 or graph.edge_count < 3:
+        raise ConfigurationError(
+            "generated road network degenerated to fewer than 3 nodes; "
+            "increase the size parameters"
+        )
+    return graph

@@ -1,0 +1,27 @@
+"""Learned (regression) count models (system S10, §4.8)."""
+
+from .base import BYTES_PER_PARAMETER, RegressionModel
+from .incremental import IncrementalEdgeStore
+from .periodic import PeriodicModel
+from .regressors import (
+    LinearModel,
+    PiecewiseLinearModel,
+    PolynomialModel,
+    StepHistogramModel,
+    default_model_factories,
+)
+from .store import BufferedEdgeStore, ModeledCountStore
+
+__all__ = [
+    "BYTES_PER_PARAMETER",
+    "BufferedEdgeStore",
+    "IncrementalEdgeStore",
+    "LinearModel",
+    "ModeledCountStore",
+    "PeriodicModel",
+    "PiecewiseLinearModel",
+    "PolynomialModel",
+    "RegressionModel",
+    "StepHistogramModel",
+    "default_model_factories",
+]

@@ -1,0 +1,81 @@
+"""Daily-periodic count model.
+
+Urban crossing streams are strongly diurnal (rush hours): a straight
+line through the CDF misfits mornings and evenings symmetrically.  The
+:class:`PeriodicModel` decomposes the cumulative count into a linear
+trend plus a learned *time-of-day profile*: the average cumulative
+count residual per daily phase bin.  Storage stays constant
+(``profile_bins`` + 2 parameters); accuracy on multi-day rush-hour
+streams beats a plain line at equal-or-smaller size than a piecewise
+fit needs for the same quality.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import RegressionModel
+
+
+class PeriodicModel(RegressionModel):
+    """Linear trend + per-phase residual profile over a fixed period."""
+
+    name = "periodic"
+
+    def __init__(
+        self, period: float = 86_400.0, profile_bins: int = 24
+    ) -> None:
+        super().__init__()
+        if period <= 0:
+            raise ModelError("period must be positive")
+        if profile_bins < 1:
+            raise ModelError("profile_bins must be >= 1")
+        self.period = float(period)
+        self.profile_bins = profile_bins
+        self._slope = 0.0
+        self._intercept = 0.0
+        self._profile = np.zeros(profile_bins)
+
+    @property
+    def parameter_count(self) -> int:
+        return 2 + self.profile_bins
+
+    def _fit(self, times: np.ndarray, cumulative: np.ndarray) -> None:
+        if len(times) == 1 or times[0] == times[-1]:
+            self._slope = 0.0
+            self._intercept = float(cumulative[-1])
+            self._profile = np.zeros(self.profile_bins)
+            return
+        slope, intercept = np.polyfit(times, cumulative, deg=1)
+        self._slope = float(slope)
+        self._intercept = float(intercept)
+        residuals = cumulative - (self._slope * times + self._intercept)
+        phases = self._phase_bin(times)
+        profile = np.zeros(self.profile_bins)
+        counts = np.bincount(phases, minlength=self.profile_bins)
+        sums = np.bincount(
+            phases, weights=residuals, minlength=self.profile_bins
+        )
+        mask = counts > 0
+        profile[mask] = sums[mask] / counts[mask]
+        # Phases without data inherit their neighbours (circular fill).
+        if not mask.all() and mask.any():
+            known = np.flatnonzero(mask)
+            for index in np.flatnonzero(~mask):
+                distances = np.minimum(
+                    np.abs(known - index),
+                    self.profile_bins - np.abs(known - index),
+                )
+                profile[index] = profile[known[np.argmin(distances)]]
+        self._profile = profile
+
+    def _phase_bin(self, times: np.ndarray) -> np.ndarray:
+        phase = np.mod(times, self.period) / self.period
+        bins = np.floor(phase * self.profile_bins).astype(int)
+        return np.clip(bins, 0, self.profile_bins - 1)
+
+    def _predict(self, t: float) -> float:
+        trend = self._slope * t + self._intercept
+        phase = int(self._phase_bin(np.array([t]))[0])
+        return trend + float(self._profile[phase])

@@ -1,0 +1,185 @@
+"""Concrete constant-size regressors (the paper's Fig. 9 line-up).
+
+- :class:`LinearModel` — ordinary least squares on the CDF (Fig. 9a);
+  2 parameters.
+- :class:`PolynomialModel` — degree-``d`` least squares; ``d + 1``
+  parameters, captures rush-hour curvature.
+- :class:`PiecewiseLinearModel` — fixed budget of equal-frequency
+  segments with linear interpolation (a constant-size cousin of the
+  PGM/learned-index segmentation); monotone by construction.
+- :class:`StepHistogramModel` — equal-width time bins with cumulative
+  counts (the classic Euler-histogram temporal compaction).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ModelError
+from .base import RegressionModel
+
+
+def _span_degenerate(times: np.ndarray) -> bool:
+    """True when the time span is too small for a stable least squares.
+
+    Uses a relative threshold so both huge timestamps with tiny spreads
+    and subnormal spreads fall back to a constant (step) fit.
+    """
+    span = float(times[-1] - times[0])
+    scale = max(abs(float(times[0])), abs(float(times[-1])), 1.0)
+    return span <= 1e-12 * scale
+
+
+class LinearModel(RegressionModel):
+    """OLS straight line through the cumulative counts."""
+
+    name = "linear"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._slope = 0.0
+        self._intercept = 0.0
+
+    @property
+    def parameter_count(self) -> int:
+        return 2
+
+    def _fit(self, times: np.ndarray, cumulative: np.ndarray) -> None:
+        if len(times) == 1 or _span_degenerate(times):
+            self._slope = 0.0
+            self._intercept = float(cumulative[-1])
+            return
+        slope, intercept = np.polyfit(times, cumulative, deg=1)
+        self._slope = float(slope)
+        self._intercept = float(intercept)
+
+    def _predict(self, t: float) -> float:
+        return self._slope * t + self._intercept
+
+
+class PolynomialModel(RegressionModel):
+    """Least-squares polynomial of fixed degree on the CDF."""
+
+    name = "polynomial"
+
+    def __init__(self, degree: int = 3) -> None:
+        super().__init__()
+        if degree < 1:
+            raise ModelError("polynomial degree must be >= 1")
+        self.degree = degree
+        self._coefficients = np.zeros(degree + 1)
+        self._scale = 1.0
+        self._shift = 0.0
+
+    @property
+    def parameter_count(self) -> int:
+        return self.degree + 1
+
+    def _fit(self, times: np.ndarray, cumulative: np.ndarray) -> None:
+        # Normalise the time axis for conditioning.
+        self._shift = float(times[0])
+        span = float(times[-1] - times[0])
+        self._scale = span if span > 0 else 1.0
+        if len(times) < 2 or _span_degenerate(times):
+            # Constant fit: all events (numerically) share one timestamp.
+            self._coefficients = np.zeros(self.degree + 1)
+            self._coefficients[-1] = float(cumulative[-1])
+            return
+        x = (times - self._shift) / self._scale
+        degree = min(self.degree, len(times) - 1)
+        coefficients = np.polyfit(x, cumulative, deg=degree)
+        self._coefficients = np.concatenate(
+            [np.zeros(self.degree + 1 - len(coefficients)), coefficients]
+        )
+
+    def _predict(self, t: float) -> float:
+        x = (t - self._shift) / self._scale
+        return float(np.polyval(self._coefficients, x))
+
+
+class PiecewiseLinearModel(RegressionModel):
+    """Equal-frequency piecewise-linear interpolation of the CDF.
+
+    ``segments`` knots are placed at evenly spaced quantiles of the
+    event sequence, so the storage budget is fixed regardless of the
+    stream length and the fitted function is monotone non-decreasing.
+    """
+
+    name = "piecewise"
+
+    def __init__(self, segments: int = 8) -> None:
+        super().__init__()
+        if segments < 1:
+            raise ModelError("segments must be >= 1")
+        self.segments = segments
+        self._knot_t: np.ndarray = np.zeros(0)
+        self._knot_y: np.ndarray = np.zeros(0)
+
+    @property
+    def parameter_count(self) -> int:
+        return 2 * (self.segments + 1)
+
+    def _fit(self, times: np.ndarray, cumulative: np.ndarray) -> None:
+        n = len(times)
+        knots = min(self.segments + 1, n)
+        indices = np.unique(
+            np.round(np.linspace(0, n - 1, knots)).astype(int)
+        )
+        knot_t = times[indices]
+        knot_y = cumulative[indices]
+        # Collapse duplicate timestamps (keep the highest count).
+        unique_t, inverse = np.unique(knot_t, return_inverse=True)
+        unique_y = np.zeros(len(unique_t))
+        for pos, y in zip(inverse, knot_y):
+            unique_y[pos] = max(unique_y[pos], y)
+        self._knot_t = unique_t
+        self._knot_y = np.maximum.accumulate(unique_y)
+
+    def _predict(self, t: float) -> float:
+        return float(np.interp(t, self._knot_t, self._knot_y))
+
+
+class StepHistogramModel(RegressionModel):
+    """Equal-width temporal bins holding cumulative counts."""
+
+    name = "histogram"
+
+    def __init__(self, bins: int = 16) -> None:
+        super().__init__()
+        if bins < 1:
+            raise ModelError("bins must be >= 1")
+        self.bins = bins
+        self._edges: np.ndarray = np.zeros(0)
+        self._cumulative: np.ndarray = np.zeros(0)
+
+    @property
+    def parameter_count(self) -> int:
+        # Bin edges are implicit (equal width from t_min/t_max): store
+        # one cumulative count per bin.
+        return self.bins
+
+    def _fit(self, times: np.ndarray, cumulative: np.ndarray) -> None:
+        self._edges = np.linspace(self._t_min, self._t_max, self.bins + 1)
+        counts, _ = np.histogram(times, bins=self._edges)
+        self._cumulative = np.cumsum(counts).astype(float)
+
+    def _predict(self, t: float) -> float:
+        index = int(np.searchsorted(self._edges, t, side="right")) - 1
+        index = min(max(index, 0), self.bins - 1)
+        return float(self._cumulative[index])
+
+
+def default_model_factories() -> dict:
+    """Name -> zero-argument factory for all bundled regressors."""
+    from .periodic import PeriodicModel
+
+    return {
+        "linear": LinearModel,
+        "polynomial": PolynomialModel,
+        "piecewise": PiecewiseLinearModel,
+        "histogram": StepHistogramModel,
+        "periodic": PeriodicModel,
+    }

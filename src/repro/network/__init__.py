@@ -1,0 +1,12 @@
+"""In-network communication simulation and energy accounting (S11)."""
+
+from .energy import EnergyModel, EnergyReport, RadioParameters
+from .simulator import CommunicationReport, NetworkSimulator
+
+__all__ = [
+    "CommunicationReport",
+    "EnergyModel",
+    "EnergyReport",
+    "NetworkSimulator",
+    "RadioParameters",
+]

@@ -1,0 +1,33 @@
+"""Planar graphs and cell complexes (system S2 in DESIGN.md).
+
+Embedded planar graphs with rotation systems, face tracing (2-cells),
+chains with the discrete boundary operator, dual-graph construction
+(mobility graph <-> sensing graph duality, §3.2 of the paper) and
+planarization of drawn graphs.
+"""
+
+from .chains import Chain, face_boundary, region_boundary, region_perimeter_nodes
+from .dual import DualGraph, build_dual
+from .faces import Face, FaceSet, euler_characteristic, trace_faces
+from .graph import Edge, NodeId, PlanarGraph, canonical_edge
+from .planarize import largest_component, planarize, prune_degree_one
+
+__all__ = [
+    "Chain",
+    "DualGraph",
+    "Edge",
+    "Face",
+    "FaceSet",
+    "NodeId",
+    "PlanarGraph",
+    "build_dual",
+    "canonical_edge",
+    "euler_characteristic",
+    "face_boundary",
+    "largest_component",
+    "planarize",
+    "prune_degree_one",
+    "region_boundary",
+    "region_perimeter_nodes",
+    "trace_faces",
+]

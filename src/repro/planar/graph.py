@@ -1,0 +1,344 @@
+"""Embedded planar graph (straight-line embedding).
+
+The central data structure of the library: an undirected graph whose
+nodes carry 2-D coordinates, drawn with straight edges.  The embedding
+induces a *rotation system* (the counter-clockwise cyclic order of the
+neighbours around each node), from which the faces of the planar
+subdivision are traced (:mod:`repro.planar.faces`).
+
+The same class represents the mobility graph ``*G`` (road network), the
+sensing graph ``G`` (its dual) and sampled graphs ``G~``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import GraphStructureError
+from ..geometry import BBox, Point, distance
+
+NodeId = Hashable
+Edge = Tuple[NodeId, NodeId]
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> Edge:
+    """Canonical (sorted-by-repr) undirected form of edge ``(u, v)``.
+
+    Node ids may be heterogeneous (ints, strings, tuples); sorting uses
+    ``(type-name, repr)`` so ordering is total and deterministic.
+    """
+    ku = (type(u).__name__, repr(u))
+    kv = (type(v).__name__, repr(v))
+    return (u, v) if ku <= kv else (v, u)
+
+
+class PlanarGraph:
+    """An undirected graph with a straight-line planar embedding.
+
+    Mutating operations invalidate cached derived structures (rotation
+    system, faces); the caches rebuild lazily on next access.
+    """
+
+    def __init__(self) -> None:
+        self._positions: Dict[NodeId, Point] = {}
+        self._adjacency: Dict[NodeId, Set[NodeId]] = {}
+        self._rotation_cache: Optional[Dict[NodeId, List[NodeId]]] = None
+        self._version = 0
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def add_node(self, node: NodeId, position: Point) -> None:
+        """Add (or move) a node at ``position``."""
+        self._positions[node] = (float(position[0]), float(position[1]))
+        self._adjacency.setdefault(node, set())
+        self._invalidate()
+
+    def add_edge(self, u: NodeId, v: NodeId) -> None:
+        """Add the undirected edge ``{u, v}``; both nodes must exist."""
+        if u == v:
+            raise GraphStructureError(f"self-loop on node {u!r} not allowed")
+        for node in (u, v):
+            if node not in self._positions:
+                raise GraphStructureError(f"unknown node {node!r}")
+        self._adjacency[u].add(v)
+        self._adjacency[v].add(u)
+        self._invalidate()
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> None:
+        """Remove the undirected edge ``{u, v}`` if present."""
+        self._adjacency.get(u, set()).discard(v)
+        self._adjacency.get(v, set()).discard(u)
+        self._invalidate()
+
+    def remove_node(self, node: NodeId) -> None:
+        """Remove a node and all incident edges."""
+        if node not in self._positions:
+            return
+        for neighbour in list(self._adjacency[node]):
+            self._adjacency[neighbour].discard(node)
+        del self._adjacency[node]
+        del self._positions[node]
+        self._invalidate()
+
+    def _invalidate(self) -> None:
+        self._rotation_cache = None
+        self._version += 1
+
+    @property
+    def version(self) -> int:
+        """Monotone counter bumped on every mutation (cache keying)."""
+        return self._version
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __contains__(self, node: NodeId) -> bool:
+        return node in self._positions
+
+    @property
+    def node_count(self) -> int:
+        return len(self._positions)
+
+    @property
+    def edge_count(self) -> int:
+        return sum(len(adj) for adj in self._adjacency.values()) // 2
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate node ids (insertion order)."""
+        return iter(self._positions)
+
+    def edges(self) -> Iterator[Edge]:
+        """Iterate undirected edges once each, in canonical form."""
+        seen: Set[Edge] = set()
+        for u, adj in self._adjacency.items():
+            for v in adj:
+                edge = canonical_edge(u, v)
+                if edge not in seen:
+                    seen.add(edge)
+                    yield edge
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        return v in self._adjacency.get(u, ())
+
+    def position(self, node: NodeId) -> Point:
+        try:
+            return self._positions[node]
+        except KeyError:
+            raise GraphStructureError(f"unknown node {node!r}") from None
+
+    def positions(self) -> Dict[NodeId, Point]:
+        """A copy of the node-position mapping."""
+        return dict(self._positions)
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        try:
+            return set(self._adjacency[node])
+        except KeyError:
+            raise GraphStructureError(f"unknown node {node!r}") from None
+
+    def degree(self, node: NodeId) -> int:
+        return len(self._adjacency.get(node, ()))
+
+    def edge_length(self, u: NodeId, v: NodeId) -> float:
+        return distance(self.position(u), self.position(v))
+
+    def bounds(self) -> BBox:
+        """Bounding box of all node positions."""
+        if not self._positions:
+            raise GraphStructureError("bounds of an empty graph")
+        return BBox.from_points(self._positions.values())
+
+    def total_edge_length(self) -> float:
+        return sum(self.edge_length(u, v) for u, v in self.edges())
+
+    # ------------------------------------------------------------------
+    # Rotation system
+    # ------------------------------------------------------------------
+    def rotation(self, node: NodeId) -> List[NodeId]:
+        """Neighbours of ``node`` in counter-clockwise angular order."""
+        return self.rotation_system()[node]
+
+    def rotation_system(self) -> Dict[NodeId, List[NodeId]]:
+        """The full rotation system, cached until the next mutation."""
+        if self._rotation_cache is None:
+            system: Dict[NodeId, List[NodeId]] = {}
+            for node, adj in self._adjacency.items():
+                ox, oy = self._positions[node]
+                system[node] = sorted(
+                    adj,
+                    key=lambda nb: math.atan2(
+                        self._positions[nb][1] - oy,
+                        self._positions[nb][0] - ox,
+                    ),
+                )
+            self._rotation_cache = system
+        return self._rotation_cache
+
+    def next_face_edge(self, u: NodeId, v: NodeId) -> Tuple[NodeId, NodeId]:
+        """Successor of directed edge ``(u, v)`` along its face.
+
+        Standard face-tracing rule: at ``v``, leave through the neighbour
+        that precedes ``u`` in the counter-clockwise rotation around
+        ``v`` (i.e. the next edge clockwise).  Interior faces then come
+        out counter-clockwise, the outer face clockwise.
+        """
+        rotation = self.rotation_system()[v]
+        index = rotation.index(u)
+        return (v, rotation[index - 1])
+
+    # ------------------------------------------------------------------
+    # Algorithms & conversions
+    # ------------------------------------------------------------------
+    def connected_components(self) -> List[Set[NodeId]]:
+        """Connected components as sets of node ids."""
+        remaining = set(self._positions)
+        components: List[Set[NodeId]] = []
+        while remaining:
+            start = next(iter(remaining))
+            seen = {start}
+            stack = [start]
+            while stack:
+                current = stack.pop()
+                for neighbour in self._adjacency[current]:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        stack.append(neighbour)
+            components.append(seen)
+            remaining -= seen
+        return components
+
+    def is_connected(self) -> bool:
+        return len(self.connected_components()) <= 1
+
+    def shortest_path(
+        self, source: NodeId, target: NodeId
+    ) -> Optional[List[NodeId]]:
+        """Euclidean-weighted shortest path (Dijkstra), or None."""
+        import heapq
+
+        if source not in self._positions or target not in self._positions:
+            raise GraphStructureError("shortest_path endpoints must exist")
+        if source == target:
+            return [source]
+        dist: Dict[NodeId, float] = {source: 0.0}
+        prev: Dict[NodeId, NodeId] = {}
+        counter = 0
+        heap: List[Tuple[float, int, NodeId]] = [(0.0, counter, source)]
+        visited: Set[NodeId] = set()
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            if node == target:
+                break
+            visited.add(node)
+            for neighbour in self._adjacency[node]:
+                if neighbour in visited:
+                    continue
+                nd = d + self.edge_length(node, neighbour)
+                if nd < dist.get(neighbour, math.inf):
+                    dist[neighbour] = nd
+                    prev[neighbour] = node
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, neighbour))
+        if target not in dist:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(prev[path[-1]])
+        path.reverse()
+        return path
+
+    def dijkstra_tree(
+        self, source: NodeId
+    ) -> Tuple[Dict[NodeId, float], Dict[NodeId, NodeId]]:
+        """Full single-source shortest-path tree (Euclidean weights).
+
+        Returns ``(distance, predecessor)`` maps; the source has no
+        predecessor entry.  Used by workload generators that plan many
+        trips from the same origin.
+        """
+        import heapq
+
+        if source not in self._positions:
+            raise GraphStructureError(f"unknown node {source!r}")
+        dist: Dict[NodeId, float] = {source: 0.0}
+        prev: Dict[NodeId, NodeId] = {}
+        counter = 0
+        heap: List[Tuple[float, int, NodeId]] = [(0.0, counter, source)]
+        visited: Set[NodeId] = set()
+        positions = self._positions
+        while heap:
+            d, _, node = heapq.heappop(heap)
+            if node in visited:
+                continue
+            visited.add(node)
+            nx_, ny_ = positions[node]
+            for neighbour in self._adjacency[node]:
+                if neighbour in visited:
+                    continue
+                px, py = positions[neighbour]
+                nd = d + math.hypot(px - nx_, py - ny_)
+                if nd < dist.get(neighbour, math.inf):
+                    dist[neighbour] = nd
+                    prev[neighbour] = node
+                    counter += 1
+                    heapq.heappush(heap, (nd, counter, neighbour))
+        return dist, prev
+
+    def path_from_tree(
+        self,
+        source: NodeId,
+        target: NodeId,
+        predecessor: Dict[NodeId, NodeId],
+    ) -> Optional[List[NodeId]]:
+        """Reconstruct a path from a :meth:`dijkstra_tree` predecessor map."""
+        if target == source:
+            return [source]
+        if target not in predecessor:
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(predecessor[path[-1]])
+        path.reverse()
+        return path
+
+    def to_networkx(self):
+        """Export as a ``networkx.Graph`` with ``pos`` node attributes
+        and ``length`` edge attributes."""
+        import networkx as nx
+
+        graph = nx.Graph()
+        for node, pos in self._positions.items():
+            graph.add_node(node, pos=pos)
+        for u, v in self.edges():
+            graph.add_edge(u, v, length=self.edge_length(u, v))
+        return graph
+
+    @classmethod
+    def from_edges(
+        cls,
+        positions: Dict[NodeId, Point],
+        edges: Iterable[Edge],
+    ) -> "PlanarGraph":
+        """Build a graph from a position map and an edge list."""
+        graph = cls()
+        for node, pos in positions.items():
+            graph.add_node(node, pos)
+        for u, v in edges:
+            graph.add_edge(u, v)
+        return graph
+
+    def copy(self) -> "PlanarGraph":
+        """Deep copy (positions and adjacency)."""
+        clone = PlanarGraph()
+        clone._positions = dict(self._positions)
+        clone._adjacency = {n: set(a) for n, a in self._adjacency.items()}
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"PlanarGraph(nodes={self.node_count}, edges={self.edge_count})"
+        )

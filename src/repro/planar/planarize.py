@@ -1,0 +1,153 @@
+"""Planarization: turn a drawn graph into a planar embedded graph.
+
+Used when constructing planar mobility graphs from raw map data
+(§4.2: "we generate the planarized graph by removing intersections from
+underpasses and flyovers by inserting nodes at the intersections") and
+as a safety net for generated graphs whose straight-line drawing may
+contain crossings.
+
+Edges are split at every pairwise proper intersection; intersection
+points closer than a snapping tolerance are merged into a single node.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Tuple
+
+from ..geometry import (
+    BBox,
+    Point,
+    Segment,
+    SpatialGrid,
+    distance,
+    points_equal,
+    proper_intersection,
+)
+from .graph import Edge, NodeId, PlanarGraph
+
+
+def planarize(
+    positions: Dict[NodeId, Point],
+    edges: Iterable[Edge],
+    snap_tolerance: float = 1e-7,
+) -> PlanarGraph:
+    """Build a planar graph, inserting nodes at edge crossings.
+
+    New intersection nodes get ids ``("x", k)`` for consecutive ``k``;
+    callers relying on node-id types should treat ids as opaque.
+    Duplicate edges collapse; edges that become self-loops after
+    snapping are dropped.
+    """
+    edge_list: List[Edge] = []
+    seen = set()
+    for u, v in edges:
+        key = frozenset((u, v))
+        if u == v or key in seen:
+            continue
+        seen.add(key)
+        edge_list.append((u, v))
+
+    if not edge_list:
+        graph = PlanarGraph()
+        for node, pos in positions.items():
+            graph.add_node(node, pos)
+        return graph
+
+    bounds = BBox.from_points(positions.values())
+    grid: SpatialGrid[int] = SpatialGrid.for_items(bounds, max(len(edge_list), 1))
+    segments: List[Segment] = []
+    for index, (u, v) in enumerate(edge_list):
+        segment = Segment(positions[u], positions[v])
+        segments.append(segment)
+        grid.insert(index, BBox.from_points([segment.start, segment.end]))
+
+    # Collect proper intersections per edge.
+    cut_points: Dict[int, List[Point]] = defaultdict(list)
+    fresh_nodes: List[Tuple[NodeId, Point]] = []
+
+    def _node_for(point: Point) -> NodeId:
+        for node, pos in fresh_nodes:
+            if distance(pos, point) <= snap_tolerance:
+                return node
+        node = ("x", len(fresh_nodes))
+        fresh_nodes.append((node, point))
+        return node
+
+    checked = set()
+    for index, segment in enumerate(segments):
+        box = BBox.from_points([segment.start, segment.end])
+        for other in grid.query_bbox(box):
+            if other <= index:
+                continue
+            pair = (index, other)
+            if pair in checked:
+                continue
+            checked.add(pair)
+            point = proper_intersection(segment, segments[other])
+            if point is None:
+                continue
+            node = _node_for(point)
+            cut_points[index].append(point)
+            cut_points[other].append(point)
+            _ = node  # the node id is re-derived during splitting below
+
+    graph = PlanarGraph()
+    for node, pos in positions.items():
+        graph.add_node(node, pos)
+    for node, pos in fresh_nodes:
+        graph.add_node(node, pos)
+
+    def _snap(point: Point) -> NodeId:
+        for node, pos in fresh_nodes:
+            if distance(pos, point) <= snap_tolerance:
+                return node
+        raise AssertionError("intersection point lost during snapping")
+
+    for index, (u, v) in enumerate(edge_list):
+        cuts = cut_points.get(index)
+        if not cuts:
+            graph.add_edge(u, v)
+            continue
+        start = positions[u]
+        ordered = sorted(set(cuts), key=lambda p: distance(start, p))
+        previous: NodeId = u
+        prev_pos = start
+        for point in ordered:
+            node = _snap(point)
+            if node != previous and not points_equal(prev_pos, point):
+                graph.add_edge(previous, node)
+                previous = node
+                prev_pos = point
+        if previous != v:
+            graph.add_edge(previous, v)
+    return graph
+
+
+def prune_degree_one(graph: PlanarGraph) -> PlanarGraph:
+    """Iteratively remove dead-end (degree <= 1) nodes.
+
+    Road networks keep dead-end streets out of the sensing subdivision:
+    a dead end contributes a zero-area spike to its containing face.
+    Returns the same graph object for chaining.
+    """
+    changed = True
+    while changed:
+        changed = False
+        for node in list(graph.nodes()):
+            if graph.degree(node) <= 1:
+                graph.remove_node(node)
+                changed = True
+    return graph
+
+
+def largest_component(graph: PlanarGraph) -> PlanarGraph:
+    """Restrict the graph to its largest connected component (in place)."""
+    components = graph.connected_components()
+    if len(components) <= 1:
+        return graph
+    keep = max(components, key=len)
+    for node in list(graph.nodes()):
+        if node not in keep:
+            graph.remove_node(node)
+    return graph

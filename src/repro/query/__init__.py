@@ -1,0 +1,18 @@
+"""Query regions, the query engine and results (system S9)."""
+
+from .continuous import ContinuousCountMonitor, RegionState
+from .engine import STATIC_EVAL_MODES, QueryEngine
+from .result import LOWER, STATIC, TRANSIENT, UPPER, QueryResult, RangeQuery
+
+__all__ = [
+    "ContinuousCountMonitor",
+    "LOWER",
+    "QueryEngine",
+    "QueryResult",
+    "RangeQuery",
+    "RegionState",
+    "STATIC",
+    "STATIC_EVAL_MODES",
+    "TRANSIENT",
+    "UPPER",
+]

@@ -1,0 +1,153 @@
+"""The in-network query engine (§4.6-4.7).
+
+Executes :class:`~repro.query.RangeQuery` objects against a
+:class:`~repro.sampling.SensorNetwork` and any
+:class:`~repro.forms.EdgeCountStore` (exact tracking forms or learned
+models):
+
+1. the rectangle resolves to the junction set ``R`` (union of faces of
+   the full sensing graph, §5.1.5);
+2. ``R`` is approximated by a union of the executing network's regions
+   — maximal enclosed (lower bound, R2) or minimal covering (upper
+   bound, R1; Fig. 7);
+3. the boundary chain of that union is integrated through the count
+   store (Theorems 4.2/4.3);
+4. communication accounting records edges and sensors touched.
+
+A query *misses* when no region approximation exists (§5.5).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional, Sequence, Set
+
+from ..errors import QueryError
+from ..forms import EdgeCountStore
+from ..mobility import MobilityDomain
+from ..planar import NodeId
+from ..sampling import SensorNetwork
+from .result import LOWER, STATIC, TRANSIENT, UPPER, QueryResult, RangeQuery
+
+#: How the static count of an interval query is evaluated from
+#: snapshot counts (Theorem 4.2 gives N(t_q) for any t_q):
+#: at the interval end (the paper's "up until t_q"), at the start, or
+#: conservatively as the min of both ends.
+STATIC_EVAL_MODES = ("end", "start", "min")
+
+
+@dataclass
+class QueryEngine:
+    """Binds a sensing network to a count store and executes queries."""
+
+    network: SensorNetwork
+    store: EdgeCountStore
+    #: "perimeter": contact only perimeter communication sensors (the
+    #: in-network differential-form protocol).  "flood": contact every
+    #: sensor inside the region (how the unsampled graph and the
+    #: baseline behave in Fig. 11c).
+    access_mode: str = "perimeter"
+    static_eval: str = "end"
+
+    def __post_init__(self) -> None:
+        if self.access_mode not in ("perimeter", "flood"):
+            raise QueryError(f"unknown access_mode {self.access_mode!r}")
+        if self.static_eval not in STATIC_EVAL_MODES:
+            raise QueryError(f"unknown static_eval {self.static_eval!r}")
+
+    @property
+    def domain(self) -> MobilityDomain:
+        return self.network.domain
+
+    # ------------------------------------------------------------------
+    def execute(self, query: RangeQuery) -> QueryResult:
+        """Execute one query; never raises on misses (reports them)."""
+        start = time.perf_counter()
+        junctions = self.domain.junctions_in_bbox(query.box)
+        if not junctions:
+            return self._miss(query, start)
+
+        if query.bound == LOWER:
+            regions = self.network.lower_regions(junctions)
+        else:
+            regions, covered = self.network.upper_regions(junctions)
+            if not covered:
+                regions = []
+        if not regions:
+            return self._miss(query, start)
+
+        boundary = self.network.region_boundary(regions)
+        value = self._integrate(boundary, query)
+        sensors = self._sensors_accessed(regions, boundary)
+        elapsed = time.perf_counter() - start
+        return QueryResult(
+            query=query,
+            value=value,
+            missed=False,
+            regions=tuple(regions),
+            edges_accessed=len(boundary),
+            nodes_accessed=len(sensors),
+            hops=len(boundary),
+            elapsed=elapsed,
+        )
+
+    def execute_many(
+        self, queries: Sequence[RangeQuery]
+    ) -> list[QueryResult]:
+        return [self.execute(query) for query in queries]
+
+    # ------------------------------------------------------------------
+    def resolve_junctions(self, query: RangeQuery) -> Set[NodeId]:
+        """The junction set the rectangle resolves to (for evaluation)."""
+        return self.domain.junctions_in_bbox(query.box)
+
+    def region_junctions(self, result: QueryResult) -> Set[NodeId]:
+        """Junctions actually covered by the executed approximation."""
+        covered: Set[NodeId] = set()
+        for region in result.regions:
+            covered |= self.network.region_junctions(region)
+        return covered
+
+    # ------------------------------------------------------------------
+    def _integrate(self, boundary, query: RangeQuery) -> float:
+        store = self.store
+        if query.kind == TRANSIENT:
+            return sum(
+                store.net_between(edge, query.t1, query.t2)
+                for edge in boundary
+            )
+        if self.static_eval == "end":
+            return sum(store.net_until(edge, query.t2) for edge in boundary)
+        if self.static_eval == "start":
+            return sum(store.net_until(edge, query.t1) for edge in boundary)
+        n1 = sum(store.net_until(edge, query.t1) for edge in boundary)
+        n2 = sum(store.net_until(edge, query.t2) for edge in boundary)
+        return min(n1, n2)
+
+    def _sensors_accessed(self, regions, boundary) -> Set[int]:
+        if self.access_mode == "flood":
+            flooded: Set[int] = set()
+            for region in regions:
+                for junction in self.network.region_junctions(region):
+                    flooded |= self._blocks_at(junction)
+            return flooded
+        return self.network.sensors_for_boundary(boundary)
+
+    def _blocks_at(self, junction: NodeId) -> Set[int]:
+        domain = self.domain
+        blocks: Set[int] = set()
+        for neighbour in domain.graph.neighbors(junction):
+            left, right = domain.dual.faces_of_primal_edge(junction, neighbour)
+            blocks.update(
+                b for b in (left, right) if b != domain.dual.outer_node
+            )
+        return blocks
+
+    def _miss(self, query: RangeQuery, start: float) -> QueryResult:
+        return QueryResult(
+            query=query,
+            value=0.0,
+            missed=True,
+            elapsed=time.perf_counter() - start,
+        )

@@ -1,0 +1,72 @@
+"""Query descriptions and results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..errors import QueryError
+from ..geometry import BBox
+
+#: Approximation modes of §4.6 (Fig. 7): R2 (maximal enclosed region)
+#: and R1 (minimal containing region).
+LOWER = "lower"
+UPPER = "upper"
+
+#: Query kinds of §3.3.
+STATIC = "static"
+TRANSIENT = "transient"
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """A spatiotemporal range count query.
+
+    ``box`` is the rectangular spatial range (resolved to a union of
+    sensing-graph faces at execution time, §5.1.5); ``(t1, t2)`` the
+    temporal interval; ``kind`` selects the static or transient count
+    (§3.3); ``bound`` the lower or upper spatial approximation (§4.6).
+    """
+
+    box: BBox
+    t1: float
+    t2: float
+    kind: str = STATIC
+    bound: str = LOWER
+
+    def __post_init__(self) -> None:
+        if self.t2 < self.t1:
+            raise QueryError(f"inverted time interval [{self.t1}, {self.t2}]")
+        if self.kind not in (STATIC, TRANSIENT):
+            raise QueryError(f"unknown query kind {self.kind!r}")
+        if self.bound not in (LOWER, UPPER):
+            raise QueryError(f"unknown bound {self.bound!r}")
+
+    def with_bound(self, bound: str) -> "RangeQuery":
+        return RangeQuery(self.box, self.t1, self.t2, self.kind, bound)
+
+    def with_kind(self, kind: str) -> "RangeQuery":
+        return RangeQuery(self.box, self.t1, self.t2, kind, self.bound)
+
+
+@dataclass
+class QueryResult:
+    """Outcome of executing a query on one sensing configuration."""
+
+    query: RangeQuery
+    value: float
+    missed: bool
+    #: Sensing regions (faces of the executing network) used.
+    regions: Tuple[int, ...] = ()
+    #: Monitored walls on the region perimeter (edges accessed).
+    edges_accessed: int = 0
+    #: Communication sensors contacted.
+    nodes_accessed: int = 0
+    #: Hop proxy for in-network aggregation routing.
+    hops: int = 0
+    #: Wall-clock evaluation time in seconds.
+    elapsed: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.missed and self.value:
+            raise QueryError("a missed query cannot carry a count")

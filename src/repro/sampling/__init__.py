@@ -1,0 +1,30 @@
+"""Sampled-graph construction (system S8): connectivity generation,
+shortest-path wall routing and the operational SensorNetwork."""
+
+from .axis_aligned import (
+    calibrate_grid_to_walls,
+    grid_decomposition_network,
+    kd_decomposition_network,
+)
+from .connectivity import knn_edges, triangulation_edges
+from .network import (
+    SensorNetwork,
+    full_network,
+    sampled_network,
+    wall_network,
+)
+from .serialize import load_network, save_network
+
+__all__ = [
+    "SensorNetwork",
+    "calibrate_grid_to_walls",
+    "full_network",
+    "grid_decomposition_network",
+    "kd_decomposition_network",
+    "knn_edges",
+    "load_network",
+    "sampled_network",
+    "save_network",
+    "triangulation_edges",
+    "wall_network",
+]

@@ -1,0 +1,51 @@
+"""Connectivity generation for sampled sensors (§4.5, Fig. 6).
+
+Selected communication sensors are joined into the sampled graph
+``G~`` either by Delaunay triangulation (few large faces) or by
+symmetric k-nearest-neighbour edges (more, smaller faces — better for
+small query regions, §5.7).  Edges here are *logical*; routing them
+through the sensing graph happens in :mod:`repro.sampling.network`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..geometry import delaunay_edges
+
+
+def triangulation_edges(positions: np.ndarray) -> List[Tuple[int, int]]:
+    """Delaunay edges over the sensor positions (index pairs, i < j)."""
+    if len(positions) < 2:
+        raise SelectionError("connectivity needs at least two sensors")
+    return delaunay_edges([tuple(p) for p in positions])
+
+
+def knn_edges(positions: np.ndarray, k: int) -> List[Tuple[int, int]]:
+    """Symmetric k-NN edges over the sensor positions.
+
+    Each sensor links to its ``k`` nearest neighbours; the union is
+    symmetrised and deduplicated.  ``k >= n - 1`` yields the complete
+    graph (the paper notes G~ becomes maximal at ``k = m``).
+    """
+    n = len(positions)
+    if n < 2:
+        raise SelectionError("connectivity needs at least two sensors")
+    if k < 1:
+        raise SelectionError("k must be >= 1")
+    from scipy.spatial import cKDTree
+
+    k_eff = min(k, n - 1)
+    tree = cKDTree(positions)
+    # Query k+1 because each point is its own nearest neighbour.
+    _, neighbours = tree.query(positions, k=k_eff + 1)
+    neighbours = np.atleast_2d(neighbours)
+    edges: Set[Tuple[int, int]] = set()
+    for i in range(n):
+        for j in neighbours[i][1:]:
+            j = int(j)
+            edges.add((min(i, j), max(i, j)))
+    return sorted(edges)

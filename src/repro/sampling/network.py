@@ -1,0 +1,326 @@
+"""The operational sensing network: full (``G``) or sampled (``G~``).
+
+A :class:`SensorNetwork` is defined by its *walls* — the sensing edges
+that are actively monitored.  In the full network every sensing edge is
+a wall; in a sampled network the walls are the sensing edges crossed by
+the shortest dual-graph paths that materialise the logical sampled
+edges (§4.5), or the boundaries of submodular-selected regions (§4.4).
+
+The faces of ``G~`` are recovered combinatorially: they are the
+connected components of the mobility graph (plus the external junction
+EXT) after removing wall edges — two junctions are in the same sensing
+region exactly when an object can travel between them without being
+detected.  This is the vertex-edge duality of §4.7.1 made operational,
+and it is robust: no geometric tracing of the routed graph is needed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..errors import QueryError, SelectionError
+from ..forms import TrackingForm
+from ..mobility import EXT, MobilityDomain
+from ..planar import NodeId, canonical_edge
+from ..trajectories import CrossingEvent
+from .connectivity import knn_edges, triangulation_edges
+
+Wall = Tuple[NodeId, NodeId]
+DirectedEdge = Tuple[NodeId, NodeId]
+
+
+@dataclass
+class SensorNetwork:
+    """A wall-defined sensing configuration over a mobility domain."""
+
+    domain: MobilityDomain
+    sensors: Tuple[int, ...]
+    walls: FrozenSet[Wall]
+    name: str = "network"
+    #: wall -> communication-sensor blocks responsible for it
+    wall_owners: Dict[Wall, FrozenSet[int]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._compute_regions()
+
+    # ------------------------------------------------------------------
+    # Region structure (faces of G~)
+    # ------------------------------------------------------------------
+    def _compute_regions(self) -> None:
+        domain = self.domain
+        region_of: Dict[NodeId, int] = {}
+        regions: Dict[int, Set[NodeId]] = {}
+        nodes = [EXT, *domain.junctions]
+        next_region = 0
+        for start in nodes:
+            if start in region_of:
+                continue
+            members = {start}
+            stack = [start]
+            while stack:
+                node = stack.pop()
+                for neighbour in domain.sensing_neighbors(node):
+                    if neighbour in members:
+                        continue
+                    if canonical_edge(node, neighbour) in self.walls:
+                        continue
+                    members.add(neighbour)
+                    stack.append(neighbour)
+            for member in members:
+                region_of[member] = next_region
+            regions[next_region] = members
+            next_region += 1
+
+        self._region_of = region_of
+        self._regions = regions
+        self.ext_region: int = region_of[EXT]
+        self._regions[self.ext_region] = regions[self.ext_region] - {EXT}
+
+        # Inward-directed boundary walls per region.
+        region_walls: Dict[int, List[DirectedEdge]] = {r: [] for r in regions}
+        for u, v in self.walls:
+            ru = region_of[u]
+            rv = region_of[v]
+            if ru == rv:
+                continue  # dangling wall interior to a region
+            region_walls[rv].append((u, v))
+            region_walls[ru].append((v, u))
+        self._region_walls = region_walls
+
+    @property
+    def region_count(self) -> int:
+        """Number of proper sensing regions (excluding the EXT region)."""
+        return len(self._regions) - 1
+
+    @property
+    def region_ids(self) -> List[int]:
+        return [r for r in self._regions if r != self.ext_region]
+
+    def region_of(self, junction: NodeId) -> int:
+        try:
+            return self._region_of[junction]
+        except KeyError:
+            raise QueryError(f"unknown junction {junction!r}") from None
+
+    def region_junctions(self, region: int) -> Set[NodeId]:
+        try:
+            return set(self._regions[region])
+        except KeyError:
+            raise QueryError(f"unknown region {region!r}") from None
+
+    def region_boundary(self, regions: Iterable[int]) -> List[DirectedEdge]:
+        """Inward-directed boundary chain of a union of regions.
+
+        Walls between two selected regions cancel (they are interior),
+        mirroring the chain-cancellation of the boundary operator.
+        """
+        selected = set(regions)
+        if self.ext_region in selected:
+            raise QueryError("query regions cannot include the EXT region")
+        chain: List[DirectedEdge] = []
+        for region in selected:
+            for u, v in self._region_walls.get(region, ()):
+                if self._region_of[u] not in selected:
+                    chain.append((u, v))
+        return chain
+
+    # ------------------------------------------------------------------
+    # Region approximation for junction-set queries (§4.6, Fig. 7)
+    # ------------------------------------------------------------------
+    def lower_regions(self, junctions: Set[NodeId]) -> List[int]:
+        """Maximal union of regions fully inside the junction set (R2)."""
+        candidates = {
+            self._region_of[j] for j in junctions if j in self._region_of
+        }
+        candidates.discard(self.ext_region)
+        return [
+            region
+            for region in candidates
+            if self._regions[region] <= junctions
+        ]
+
+    def upper_regions(self, junctions: Set[NodeId]) -> Tuple[List[int], bool]:
+        """Minimal union of regions covering the junction set (R1).
+
+        Returns ``(regions, covered)``; ``covered`` is False when part
+        of the query region falls in the EXT region (the un-enclosed
+        remainder of the domain), in which case no bounded superset
+        exists and the query counts as a miss for upper-bound mode.
+        """
+        candidates = {
+            self._region_of[j] for j in junctions if j in self._region_of
+        }
+        covered = self.ext_region not in candidates
+        candidates.discard(self.ext_region)
+        return (sorted(candidates), covered)
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+    def build_form(self, events: Iterable[CrossingEvent]) -> TrackingForm:
+        """Tracking form of all crossings this network's walls observe."""
+        form = TrackingForm()
+        walls = self.walls
+        for event in events:
+            if canonical_edge(event.tail, event.head) in walls:
+                form.record(event.tail, event.head, event.t)
+        return form
+
+    def observed_events(
+        self, events: Iterable[CrossingEvent]
+    ) -> List[CrossingEvent]:
+        """The subset of an event stream that hits a wall."""
+        walls = self.walls
+        return [
+            e for e in events if canonical_edge(e.tail, e.head) in walls
+        ]
+
+    # ------------------------------------------------------------------
+    # Accounting (communication-cost proxies, §4.9)
+    # ------------------------------------------------------------------
+    def sensors_for_boundary(
+        self, boundary: Sequence[DirectedEdge]
+    ) -> Set[int]:
+        """Communication sensors that must be contacted for a boundary.
+
+        Sampled networks map each wall to the sensors owning the routed
+        edge it belongs to; wall-only configurations fall back to the
+        blocks incident to the wall.
+        """
+        contacted: Set[int] = set()
+        for u, v in boundary:
+            wall = canonical_edge(u, v)
+            owners = self.wall_owners.get(wall)
+            if owners:
+                contacted.update(owners)
+            else:
+                contacted.update(self._incident_blocks(wall))
+        return contacted
+
+    def _incident_blocks(self, wall: Wall) -> Set[int]:
+        domain = self.domain
+        u, v = wall
+        if u == EXT or v == EXT:
+            junction = v if u == EXT else u
+            blocks: Set[int] = set()
+            for neighbour in domain.graph.neighbors(junction):
+                left, right = domain.dual.faces_of_primal_edge(
+                    junction, neighbour
+                )
+                blocks.update(
+                    b for b in (left, right) if b != domain.dual.outer_node
+                )
+            return blocks
+        left, right = domain.dual.faces_of_primal_edge(u, v)
+        return {b for b in (left, right) if b != domain.dual.outer_node}
+
+    @property
+    def size_fraction(self) -> float:
+        """|sensors| / |blocks| — the x-axis of Figs. 11a/12a."""
+        return len(self.sensors) / max(self.domain.block_count, 1)
+
+    @property
+    def wall_fraction(self) -> float:
+        """|walls| / |sensing edges| — edge-level size of the network."""
+        return len(self.walls) / max(self.domain.sensing_edge_count, 1)
+
+    def __repr__(self) -> str:
+        return (
+            f"SensorNetwork({self.name!r}, sensors={len(self.sensors)}, "
+            f"walls={len(self.walls)}, regions={self.region_count})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Constructors
+# ----------------------------------------------------------------------
+def full_network(domain: MobilityDomain) -> SensorNetwork:
+    """The unsampled sensing graph ``G``: every sensing edge is a wall.
+
+    Every junction becomes its own sensing region; this is the paper's
+    exact-count reference configuration ([34] without sampling).
+    """
+    walls = frozenset(
+        canonical_edge(u, v) for u, v in domain.sensing_edges()
+    )
+    sensors = tuple(sorted(domain.dual.interior_nodes))
+    return SensorNetwork(
+        domain=domain, sensors=sensors, walls=walls, name="full"
+    )
+
+
+def sampled_network(
+    domain: MobilityDomain,
+    sensor_blocks: Sequence[int],
+    connectivity: str = "triangulation",
+    k: int = 5,
+    name: Optional[str] = None,
+) -> SensorNetwork:
+    """Materialise a sampled graph ``G~`` from selected sensor blocks.
+
+    Logical edges between the selected blocks (Delaunay triangulation
+    or symmetric k-NN) are routed along shortest paths in the sensing
+    dual graph — avoiding the infinity node, so routes stay inside the
+    domain — and every primal edge crossed becomes a monitored wall
+    owned by the two endpoint sensors (Fig. 6b/e).
+    """
+    blocks = list(dict.fromkeys(sensor_blocks))
+    if len(blocks) < 2:
+        raise SelectionError("a sampled network needs at least two sensors")
+    outer = domain.dual.outer_node
+    if outer in blocks:
+        raise SelectionError("the infinity node cannot be a sensor")
+    positions = np.array([domain.dual.position(b) for b in blocks])
+
+    if connectivity == "triangulation":
+        logical = triangulation_edges(positions)
+    elif connectivity == "knn":
+        logical = knn_edges(positions, k)
+    else:
+        raise SelectionError(
+            f"unknown connectivity {connectivity!r}; "
+            "use 'triangulation' or 'knn'"
+        )
+
+    walls: Set[Wall] = set()
+    owners: Dict[Wall, Set[int]] = {}
+    forbidden = {outer} if outer is not None else set()
+    for i, j in logical:
+        route = domain.dual.shortest_path(
+            blocks[i], blocks[j], forbidden=forbidden
+        )
+        if route is None:
+            continue  # unreachable without leaving the domain; skip
+        _, crossings = route
+        for wall in crossings:
+            wall = canonical_edge(*wall)
+            walls.add(wall)
+            owners.setdefault(wall, set()).add(blocks[i])
+            owners[wall].add(blocks[j])
+
+    label = name or f"sampled-{connectivity}"
+    return SensorNetwork(
+        domain=domain,
+        sensors=tuple(blocks),
+        walls=frozenset(walls),
+        name=label,
+        wall_owners={w: frozenset(o) for w, o in owners.items()},
+    )
+
+
+def wall_network(
+    domain: MobilityDomain,
+    walls: Iterable[Wall],
+    sensors: Sequence[int],
+    name: str = "walls",
+) -> SensorNetwork:
+    """A network directly defined by walls (submodular plans, tests)."""
+    return SensorNetwork(
+        domain=domain,
+        sensors=tuple(sensors),
+        walls=frozenset(canonical_edge(u, v) for u, v in walls),
+        name=name,
+    )

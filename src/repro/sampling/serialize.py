@@ -1,0 +1,104 @@
+"""Deployment serialization: save/load sensor-network configurations.
+
+A deployed configuration (selected sensors + monitored walls) is the
+operational state a real system would provision once and reuse; this
+module round-trips it through JSON so deployments survive process
+restarts and can be shipped between planner and operator.
+
+Node ids are encoded with a small tagged scheme because mobility-graph
+ids are heterogeneous (ints, strings, tuples from generators and
+planarization).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Tuple, Union
+
+from ..errors import ConfigurationError
+from ..mobility import MobilityDomain
+from ..planar import NodeId, canonical_edge
+from .network import SensorNetwork
+
+
+def _encode_node(node: NodeId) -> Any:
+    if isinstance(node, tuple):
+        return {"t": [_encode_node(part) for part in node]}
+    if isinstance(node, (int, float, str)):
+        return node
+    raise ConfigurationError(f"cannot serialise node id {node!r}")
+
+
+def _decode_node(raw: Any) -> NodeId:
+    if isinstance(raw, dict) and "t" in raw:
+        return tuple(_decode_node(part) for part in raw["t"])
+    return raw
+
+
+def save_network(network: SensorNetwork, path: Union[str, Path]) -> None:
+    """Write a deployment's sensors, walls and wall ownership to JSON."""
+    payload = {
+        "format": "repro-sensor-network",
+        "version": 1,
+        "name": network.name,
+        "sensors": list(network.sensors),
+        "walls": [
+            [_encode_node(u), _encode_node(v)] for u, v in sorted(
+                network.walls, key=repr
+            )
+        ],
+        "wall_owners": [
+            [[_encode_node(u), _encode_node(v)], sorted(owners)]
+            for (u, v), owners in sorted(
+                network.wall_owners.items(), key=lambda item: repr(item[0])
+            )
+        ],
+    }
+    Path(path).write_text(json.dumps(payload))
+
+
+def load_network(
+    domain: MobilityDomain, path: Union[str, Path]
+) -> SensorNetwork:
+    """Rebuild a deployment against a (compatible) domain.
+
+    Validates that every wall references an existing sensing edge of
+    the domain — loading a deployment onto the wrong city fails loudly
+    rather than silently miscounting.
+    """
+    raw = json.loads(Path(path).read_text())
+    if raw.get("format") != "repro-sensor-network":
+        raise ConfigurationError(f"{path} is not a sensor-network file")
+    if raw.get("version") != 1:
+        raise ConfigurationError(
+            f"unsupported sensor-network version {raw.get('version')!r}"
+        )
+
+    walls = []
+    valid_edges = {
+        canonical_edge(u, v) for u, v in domain.sensing_edges()
+    }
+    for entry in raw["walls"]:
+        u, v = (_decode_node(entry[0]), _decode_node(entry[1]))
+        wall = canonical_edge(u, v)
+        if wall not in valid_edges:
+            raise ConfigurationError(
+                f"wall {wall!r} does not exist in this domain; "
+                "deployment belongs to a different city"
+            )
+        walls.append(wall)
+
+    owners: Dict[Tuple[NodeId, NodeId], frozenset] = {}
+    for entry in raw.get("wall_owners", []):
+        (raw_u, raw_v), owner_list = entry
+        wall = canonical_edge(_decode_node(raw_u), _decode_node(raw_v))
+        owners[wall] = frozenset(owner_list)
+
+    return SensorNetwork(
+        domain=domain,
+        sensors=tuple(raw["sensors"]),
+        walls=frozenset(walls),
+        name=str(raw.get("name", "loaded")),
+        wall_owners=owners,
+    )

@@ -1,0 +1,75 @@
+"""Query-adaptive candidate weights for the oblivious samplers.
+
+§4.3, closing paragraph: *"we can include non-uniformity by using
+different weights for each node. For example, if we were to make our
+sampling methods query adaptive, we can use the number of times each
+node appeared in previous queries as the weight."*
+
+:func:`query_frequency_weights` turns a historical query workload into
+per-block weights: a block is "in" a query when any of the junctions of
+its surrounding faces fall inside the query region, and its weight is
+the number of historical queries that touched it (plus a smoothing
+floor so unqueried blocks stay selectable).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence, Set
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..mobility import MobilityDomain
+from ..planar import NodeId
+from .base import SensorCandidates
+
+
+def query_frequency_weights(
+    domain: MobilityDomain,
+    query_regions: Sequence[Set[NodeId]],
+    smoothing: float = 0.5,
+) -> np.ndarray:
+    """Per-block weights = historical query hit counts + smoothing.
+
+    Returned in the order of ``SensorCandidates.from_domain(domain)``
+    (the domain's interior dual nodes).
+    """
+    if not query_regions:
+        raise SelectionError("need at least one historical query region")
+    if smoothing < 0:
+        raise SelectionError("smoothing must be non-negative")
+
+    # Map each junction to its incident blocks once.
+    junction_blocks: Dict[NodeId, Set[int]] = {}
+    outer = domain.dual.outer_node
+    for junction in domain.junctions:
+        blocks: Set[int] = set()
+        for neighbour in domain.graph.neighbors(junction):
+            left, right = domain.dual.faces_of_primal_edge(junction, neighbour)
+            blocks.update(b for b in (left, right) if b != outer)
+        junction_blocks[junction] = blocks
+
+    hits: Dict[int, int] = {}
+    for region in query_regions:
+        touched: Set[int] = set()
+        for junction in region:
+            touched |= junction_blocks.get(junction, set())
+        for block in touched:
+            hits[block] = hits.get(block, 0) + 1
+
+    order = domain.dual.interior_nodes
+    return np.array(
+        [hits.get(block, 0) + smoothing for block in order], dtype=float
+    )
+
+
+def weighted_candidates(
+    domain: MobilityDomain,
+    query_regions: Sequence[Set[NodeId]],
+    smoothing: float = 0.5,
+) -> SensorCandidates:
+    """Sensor candidates carrying query-frequency weights."""
+    return SensorCandidates.from_domain(
+        domain,
+        weights=query_frequency_weights(domain, query_regions, smoothing),
+    )

@@ -1,0 +1,117 @@
+"""Common interface for sensor-selection algorithms (§4.3-4.4).
+
+Candidates are the nodes of the sensing graph ``G`` — one per city
+block (interior face of the mobility graph) — identified by their dual
+node id and carrying a 2-D position.  A selector picks ``m`` of them as
+*communication sensors*; §4.5 then connects the picks into the sampled
+graph ``G~``.
+
+Weights support the query-adaptive variant of the samplers mentioned in
+§4.3 ("use the number of times each node appeared in previous queries
+as the weight").
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..mobility import MobilityDomain
+
+
+@dataclass(frozen=True)
+class SensorCandidates:
+    """The selectable sensor population.
+
+    ``ids[i]`` is the dual node (block) id at ``positions[i]``;
+    ``weights`` (optional, non-negative) bias probabilistic selectors.
+    """
+
+    ids: tuple
+    positions: np.ndarray
+    weights: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        if len(self.ids) == 0:
+            raise SelectionError("no sensor candidates")
+        if self.positions.shape != (len(self.ids), 2):
+            raise SelectionError("positions must be (n, 2)")
+        if self.weights is not None:
+            if self.weights.shape != (len(self.ids),):
+                raise SelectionError("weights must be (n,)")
+            if np.any(self.weights < 0):
+                raise SelectionError("weights must be non-negative")
+
+    @classmethod
+    def from_domain(
+        cls,
+        domain: MobilityDomain,
+        weights: Optional[np.ndarray] = None,
+    ) -> "SensorCandidates":
+        """All interior dual nodes of the domain's sensing graph."""
+        ids = tuple(domain.dual.interior_nodes)
+        positions = np.array(
+            [domain.dual.position(node) for node in ids], dtype=float
+        )
+        return cls(ids=ids, positions=positions, weights=weights)
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+    def probabilities(self) -> np.ndarray:
+        """Normalised selection probabilities (uniform when unweighted)."""
+        if self.weights is None:
+            return np.full(len(self.ids), 1.0 / len(self.ids))
+        total = float(self.weights.sum())
+        if total <= 0:
+            raise SelectionError("weights sum to zero")
+        return self.weights / total
+
+
+class Selector(abc.ABC):
+    """A sensor-selection strategy.
+
+    Subclasses must be deterministic given the supplied random
+    generator, and must return exactly ``m`` distinct candidate ids.
+    """
+
+    #: Short name used in experiment tables.
+    name: str = "selector"
+
+    @abc.abstractmethod
+    def select(
+        self,
+        candidates: SensorCandidates,
+        m: int,
+        rng: np.random.Generator,
+    ) -> List:
+        """Pick ``m`` candidate ids."""
+
+    def _validate_budget(self, candidates: SensorCandidates, m: int) -> None:
+        if m < 1:
+            raise SelectionError(f"{self.name}: budget m={m} must be >= 1")
+        if m > len(candidates):
+            raise SelectionError(
+                f"{self.name}: budget m={m} exceeds the "
+                f"{len(candidates)} candidates"
+            )
+
+    @staticmethod
+    def _pad_or_trim(
+        chosen: List, candidates: SensorCandidates, m: int, rng: np.random.Generator
+    ) -> List:
+        """Adjust a near-m pick to exactly m (used by grid-based pickers
+        whose natural cell counts rarely equal the budget exactly)."""
+        chosen = list(dict.fromkeys(chosen))
+        if len(chosen) > m:
+            keep = rng.choice(len(chosen), size=m, replace=False)
+            return [chosen[i] for i in sorted(keep)]
+        if len(chosen) < m:
+            pool = [c for c in candidates.ids if c not in set(chosen)]
+            extra = rng.choice(len(pool), size=m - len(chosen), replace=False)
+            chosen.extend(pool[i] for i in sorted(extra))
+        return chosen

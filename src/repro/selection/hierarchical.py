@@ -1,0 +1,151 @@
+"""Hierarchical space-partition sampling: kd-tree and QuadTree (§4.3).
+
+Both build a hierarchy over the candidate positions, refining until
+there are ``m`` leaves, then pick one representative per leaf — which
+blends the density-following behaviour of uniform sampling (leaves are
+smaller where candidates are dense) with the even spatial coverage of
+systematic sampling.
+
+The refinement is *largest-leaf-first* so exactly ``m`` non-empty
+leaves exist when it stops; no pad/trim lottery is needed in the common
+case.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..errors import SelectionError
+from .base import Selector, SensorCandidates
+
+
+@dataclass(order=True)
+class _Leaf:
+    """Heap entry: biggest population first, deterministic tiebreak."""
+
+    sort_key: Tuple[int, int]
+    indices: np.ndarray = field(compare=False)
+    bounds: Tuple[float, float, float, float] = field(compare=False)
+    depth: int = field(compare=False, default=0)
+
+
+class _HierarchicalSelector(Selector):
+    """Shared refine-then-pick skeleton for kd-tree and QuadTree."""
+
+    def __init__(self, pick: str = "random") -> None:
+        if pick not in ("center", "random"):
+            raise SelectionError("pick must be 'center' or 'random'")
+        self.pick = pick
+
+    def select(
+        self, candidates: SensorCandidates, m: int, rng: np.random.Generator
+    ) -> List:
+        self._validate_budget(candidates, m)
+        positions = candidates.positions
+        min_x, min_y = positions.min(axis=0)
+        max_x, max_y = positions.max(axis=0)
+        root = _Leaf(
+            sort_key=(-len(positions), 0),
+            indices=np.arange(len(positions)),
+            bounds=(min_x, min_y, max_x, max_y),
+            depth=0,
+        )
+        heap: List[_Leaf] = [root]
+        serial = 1
+        while len(heap) < m:
+            leaf = heapq.heappop(heap)
+            children = self._split(leaf, positions)
+            children = [c for c in children if len(c.indices)]
+            if len(children) <= 1:
+                # Unsplittable (duplicate coordinates); keep as-is and
+                # stop refining this branch.
+                leaf.sort_key = (0, leaf.sort_key[1])
+                heapq.heappush(heap, leaf)
+                if all(entry.sort_key[0] == 0 for entry in heap):
+                    break
+                continue
+            for child in children:
+                child.sort_key = (
+                    -len(child.indices) if len(child.indices) > 1 else 0,
+                    serial,
+                )
+                serial += 1
+                heapq.heappush(heap, child)
+
+        chosen: List = []
+        for leaf in heap:
+            chosen.append(candidates.ids[self._pick_one(leaf, positions, rng)])
+        return self._pad_or_trim(chosen, candidates, m, rng)
+
+    def _pick_one(
+        self, leaf: _Leaf, positions: np.ndarray, rng: np.random.Generator
+    ) -> int:
+        members = leaf.indices
+        if self.pick == "random":
+            return int(members[int(rng.integers(0, len(members)))])
+        cx = (leaf.bounds[0] + leaf.bounds[2]) / 2.0
+        cy = (leaf.bounds[1] + leaf.bounds[3]) / 2.0
+        offsets = positions[members] - np.array([cx, cy])
+        return int(members[int(np.argmin((offsets**2).sum(axis=1)))])
+
+    def _split(self, leaf: _Leaf, positions: np.ndarray) -> List[_Leaf]:
+        raise NotImplementedError
+
+
+class KDTreeSelector(_HierarchicalSelector):
+    """Median split on the alternating (wider) axis (Fig. 4d)."""
+
+    name = "kdtree"
+
+    def _split(self, leaf: _Leaf, positions: np.ndarray) -> List[_Leaf]:
+        min_x, min_y, max_x, max_y = leaf.bounds
+        axis = 0 if (max_x - min_x) >= (max_y - min_y) else 1
+        values = positions[leaf.indices, axis]
+        median = float(np.median(values))
+        left_mask = values <= median
+        if left_mask.all() or not left_mask.any():
+            # Degenerate median (duplicates): strict split instead.
+            left_mask = values < median
+            if not left_mask.any():
+                return [leaf]
+        left = leaf.indices[left_mask]
+        right = leaf.indices[~left_mask]
+        if axis == 0:
+            bounds_left = (min_x, min_y, median, max_y)
+            bounds_right = (median, min_y, max_x, max_y)
+        else:
+            bounds_left = (min_x, min_y, max_x, median)
+            bounds_right = (min_x, median, max_x, max_y)
+        return [
+            _Leaf((0, 0), left, bounds_left, leaf.depth + 1),
+            _Leaf((0, 0), right, bounds_right, leaf.depth + 1),
+        ]
+
+
+class QuadTreeSelector(_HierarchicalSelector):
+    """Quarter split at the cell midpoint (Fig. 4e)."""
+
+    name = "quadtree"
+
+    def _split(self, leaf: _Leaf, positions: np.ndarray) -> List[_Leaf]:
+        min_x, min_y, max_x, max_y = leaf.bounds
+        mid_x = (min_x + max_x) / 2.0
+        mid_y = (min_y + max_y) / 2.0
+        if max_x - min_x <= 1e-12 and max_y - min_y <= 1e-12:
+            return [leaf]
+        xs = positions[leaf.indices, 0]
+        ys = positions[leaf.indices, 1]
+        quadrants = [
+            ((xs <= mid_x) & (ys <= mid_y), (min_x, min_y, mid_x, mid_y)),
+            ((xs > mid_x) & (ys <= mid_y), (mid_x, min_y, max_x, mid_y)),
+            ((xs <= mid_x) & (ys > mid_y), (min_x, mid_y, mid_x, max_y)),
+            ((xs > mid_x) & (ys > mid_y), (mid_x, mid_y, max_x, max_y)),
+        ]
+        return [
+            _Leaf((0, 0), leaf.indices[mask], bounds, leaf.depth + 1)
+            for mask, bounds in quadrants
+        ]

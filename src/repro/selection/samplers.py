@@ -1,0 +1,155 @@
+"""Query-oblivious sensor samplers (§4.3, Fig. 4a-c).
+
+- :class:`UniformSelector` — equal-probability (or weighted) sampling;
+  biased toward dense areas because dense areas have more candidates.
+- :class:`SystematicSelector` — a virtual grid over the domain, one
+  pick per cell; spatially even coverage.
+- :class:`StratifiedSelector` — per-district allocation proportional to
+  district area (or any weight the strata carry).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import numpy as np
+
+from ..errors import SelectionError
+from ..geometry import BBox
+from ..mobility import Strata
+from .base import Selector, SensorCandidates
+
+
+class UniformSelector(Selector):
+    """Uniform (optionally weighted) random sampling without replacement."""
+
+    name = "uniform"
+
+    def select(
+        self, candidates: SensorCandidates, m: int, rng: np.random.Generator
+    ) -> List:
+        self._validate_budget(candidates, m)
+        probabilities = candidates.probabilities()
+        indices = rng.choice(
+            len(candidates), size=m, replace=False, p=probabilities
+        )
+        return [candidates.ids[i] for i in sorted(indices)]
+
+
+class SystematicSelector(Selector):
+    """Virtual-grid systematic sampling (one node per grid cell).
+
+    ``pick`` chooses the node closest to the cell centre (``"center"``)
+    or a random node of the cell (``"random"``).  Cells without
+    candidates stay empty; the pick list is padded/trimmed to exactly
+    ``m`` with uniform picks.
+    """
+
+    name = "systematic"
+
+    def __init__(self, pick: str = "center") -> None:
+        if pick not in ("center", "random"):
+            raise SelectionError("pick must be 'center' or 'random'")
+        self.pick = pick
+
+    def select(
+        self, candidates: SensorCandidates, m: int, rng: np.random.Generator
+    ) -> List:
+        self._validate_budget(candidates, m)
+        box = BBox.from_points(candidates.positions)
+        aspect = box.width / box.height if box.height > 0 else 1.0
+        rows = max(int(round(math.sqrt(m / max(aspect, 1e-9)))), 1)
+        cols = max(int(math.ceil(m / rows)), 1)
+
+        cell_w = box.width / cols if box.width > 0 else 1.0
+        cell_h = box.height / rows if box.height > 0 else 1.0
+        cells: dict = {}
+        for index, (x, y) in enumerate(candidates.positions):
+            cx = min(int((x - box.min_x) / cell_w), cols - 1) if cell_w else 0
+            cy = min(int((y - box.min_y) / cell_h), rows - 1) if cell_h else 0
+            cells.setdefault((cx, cy), []).append(index)
+
+        chosen: List = []
+        for (cx, cy), members in sorted(cells.items()):
+            if self.pick == "random":
+                winner = members[int(rng.integers(0, len(members)))]
+            else:
+                centre = (
+                    box.min_x + (cx + 0.5) * cell_w,
+                    box.min_y + (cy + 0.5) * cell_h,
+                )
+                winner = min(
+                    members,
+                    key=lambda i: (
+                        (candidates.positions[i][0] - centre[0]) ** 2
+                        + (candidates.positions[i][1] - centre[1]) ** 2
+                    ),
+                )
+            chosen.append(candidates.ids[winner])
+        return self._pad_or_trim(chosen, candidates, m, rng)
+
+
+class StratifiedSelector(Selector):
+    """Stratified sampling over districts (§4.3, Fig. 4c).
+
+    Allocation per stratum is proportional to the stratum weight (area
+    by default), rounded largest-remainder so the total is exactly
+    ``m``; sampling within a stratum is uniform.
+    """
+
+    name = "stratified"
+
+    def __init__(self, strata: Strata) -> None:
+        self.strata = strata
+
+    def select(
+        self, candidates: SensorCandidates, m: int, rng: np.random.Generator
+    ) -> List:
+        self._validate_budget(candidates, m)
+        groups = self.strata.groups([tuple(p) for p in candidates.positions])
+        occupied = sorted(groups)
+        weights = np.array(
+            [self.strata.area_weights[s] for s in occupied], dtype=float
+        )
+        weights /= weights.sum()
+
+        allocation = self._largest_remainder(
+            weights, [len(groups[s]) for s in occupied], m
+        )
+        chosen: List = []
+        for stratum, quota in zip(occupied, allocation):
+            if quota == 0:
+                continue
+            members = groups[stratum]
+            picks = rng.choice(len(members), size=quota, replace=False)
+            chosen.extend(candidates.ids[members[i]] for i in sorted(picks))
+        return self._pad_or_trim(chosen, candidates, m, rng)
+
+    @staticmethod
+    def _largest_remainder(
+        weights: np.ndarray, capacities: List[int], m: int
+    ) -> List[int]:
+        """Proportional integer allocation capped by stratum capacity."""
+        ideal = weights * m
+        allocation = np.minimum(np.floor(ideal).astype(int), capacities)
+        remaining = m - int(allocation.sum())
+        if remaining > 0:
+            remainders = ideal - np.floor(ideal)
+            order = np.argsort(-remainders)
+            for index in order:
+                if remaining == 0:
+                    break
+                if allocation[index] < capacities[index]:
+                    allocation[index] += 1
+                    remaining -= 1
+            # Capacity-saturated strata may still leave a deficit;
+            # spill round-robin into any stratum with room.
+            index = 0
+            while remaining > 0 and index < len(allocation) * 2:
+                slot = index % len(allocation)
+                if allocation[slot] < capacities[slot]:
+                    allocation[slot] += 1
+                    remaining -= 1
+                index += 1
+        return allocation.tolist()

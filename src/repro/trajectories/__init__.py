@@ -1,0 +1,40 @@
+"""Moving-object workloads and crossing events (system S5)."""
+
+from .events import (
+    CrossingEvent,
+    all_events,
+    distinct_visitors,
+    ingest,
+    net_change,
+    occupancy_count,
+    trip_events,
+)
+from .generator import Trip, plan_trip, plan_trip_along
+from .gpsio import (
+    export_trips_as_gps,
+    load_gps_trips,
+    read_gps_csv,
+    trips_from_fixes,
+)
+from .workload import DAY, Workload, WorkloadConfig, generate_workload
+
+__all__ = [
+    "CrossingEvent",
+    "DAY",
+    "Trip",
+    "Workload",
+    "WorkloadConfig",
+    "all_events",
+    "distinct_visitors",
+    "export_trips_as_gps",
+    "generate_workload",
+    "ingest",
+    "load_gps_trips",
+    "read_gps_csv",
+    "trips_from_fixes",
+    "net_change",
+    "occupancy_count",
+    "plan_trip",
+    "plan_trip_along",
+    "trip_events",
+]

@@ -1,0 +1,127 @@
+"""Trips of moving objects over the mobility domain.
+
+A :class:`Trip` is one moving object's journey: it appears at an origin
+junction at its departure time (modelled as an instantaneous drive in
+from the domain rim through ``EXT``, see
+:meth:`~repro.mobility.MobilityDomain.entry_path`), travels along the
+shortest road path to its destination with a per-trip speed, and leaves
+the sensed world again at arrival.
+
+Object identifiers exist only inside the generator (to compute ground
+truth); the sensing pipeline consumes anonymous crossing events.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import WorkloadError
+from ..mobility import EXT, MobilityDomain
+from ..planar import NodeId
+
+
+@dataclass(frozen=True)
+class Trip:
+    """One object's journey as timestamped junction visits.
+
+    ``visits[0]`` is ``(origin, depart_time)``; subsequent entries carry
+    the arrival time at each junction along the route.  The object
+    occupies ``visits[i][0]`` during ``[visits[i][1], visits[i+1][1])``
+    and is outside the domain (at EXT) before departure and from
+    ``end_time`` on.
+    """
+
+    object_id: int
+    visits: Tuple[Tuple[NodeId, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.visits:
+            raise WorkloadError("a trip needs at least one visit")
+        times = [t for _, t in self.visits]
+        if any(b < a for a, b in zip(times, times[1:])):
+            raise WorkloadError("trip visit times must be non-decreasing")
+
+    @property
+    def origin(self) -> NodeId:
+        return self.visits[0][0]
+
+    @property
+    def destination(self) -> NodeId:
+        return self.visits[-1][0]
+
+    @property
+    def start_time(self) -> float:
+        return self.visits[0][1]
+
+    @property
+    def end_time(self) -> float:
+        """Time at which the object leaves the sensed world."""
+        return self.visits[-1][1]
+
+    def position_at(self, t: float) -> NodeId:
+        """Junction occupied at time ``t`` (right-continuous), or EXT.
+
+        The object is at EXT strictly before departure and from
+        ``end_time`` onward (it exits at the instant it arrives).
+        """
+        if t < self.start_time or t >= self.end_time:
+            return EXT
+        times = [time for _, time in self.visits]
+        index = bisect.bisect_right(times, t) - 1
+        return self.visits[index][0]
+
+
+def plan_trip(
+    domain: MobilityDomain,
+    object_id: int,
+    origin: NodeId,
+    destination: NodeId,
+    depart_time: float,
+    speed: float,
+    dwell_time: float = 0.0,
+) -> Trip:
+    """Route a trip along the shortest road path at constant speed.
+
+    ``dwell_time`` keeps the object parked at the destination before it
+    leaves the sensed world (end_time = arrival + dwell).
+    """
+    path = domain.graph.shortest_path(origin, destination)
+    if path is None:
+        raise WorkloadError(
+            f"no route between {origin!r} and {destination!r}"
+        )
+    return plan_trip_along(
+        domain, object_id, path, depart_time, speed, dwell_time
+    )
+
+
+def plan_trip_along(
+    domain: MobilityDomain,
+    object_id: int,
+    path: Sequence[NodeId],
+    depart_time: float,
+    speed: float,
+    dwell_time: float = 0.0,
+) -> Trip:
+    """Build a trip along a precomputed junction path.
+
+    Lets workload generators reuse cached shortest-path trees instead
+    of re-running Dijkstra per trip.
+    """
+    if speed <= 0:
+        raise WorkloadError("speed must be positive")
+    if dwell_time < 0:
+        raise WorkloadError("dwell_time cannot be negative")
+    if not path:
+        raise WorkloadError("empty path")
+    visits: List[Tuple[NodeId, float]] = [(path[0], depart_time)]
+    t = depart_time
+    for a, b in zip(path, path[1:]):
+        t += domain.graph.edge_length(a, b) / speed
+        visits.append((b, t))
+    if dwell_time > 0 or len(visits) == 1:
+        # A zero-length trip still needs a positive stay to be observable.
+        visits.append((path[-1], t + max(dwell_time, 1e-9)))
+    return Trip(object_id=object_id, visits=tuple(visits))

@@ -1,0 +1,177 @@
+"""Synthetic moving-object workloads (the T-Drive/Geolife substitute).
+
+Generates trip collections with the statistical structure of urban taxi
+GPS data that matters to the framework:
+
+- inhomogeneous departures with morning/evening rush-hour peaks over a
+  multi-day horizon;
+- hotspot-biased origins and destinations (dense city-centre traffic)
+  mixed with uniform background trips;
+- log-normal per-trip speeds and exponential destination dwell times.
+
+Everything is driven by an explicit :class:`numpy.random.Generator`, so
+workloads are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import WorkloadError
+from ..mobility import MobilityDomain
+from ..planar import NodeId
+from .events import CrossingEvent, all_events
+from .generator import Trip, plan_trip_along
+
+#: Seconds per simulated day.
+DAY = 24 * 3600.0
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Parameters of a synthetic workload.
+
+    ``horizon_days`` matches the paper's query generation, which samples
+    7-day temporal ranges.  Speeds are in domain units per second (the
+    synthetic city spans ~10 units ≈ 10 km, so 40 km/h ≈ 0.011 u/s) —
+    but absolute scales only shift timestamps, not behaviour.
+    """
+
+    n_trips: int = 2000
+    horizon_days: float = 14.0
+    hotspots: int = 4
+    hotspot_bias: float = 0.6
+    hotspot_spread: float = 0.08
+    mean_speed: float = 0.011
+    speed_sigma: float = 0.3
+    mean_dwell: float = 900.0
+    rush_hours: Tuple[float, float] = (8.0, 18.0)
+    rush_weight: float = 0.7
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.n_trips < 1:
+            raise WorkloadError("n_trips must be positive")
+        if not 0.0 <= self.hotspot_bias <= 1.0:
+            raise WorkloadError("hotspot_bias must lie in [0, 1]")
+        if self.horizon_days <= 0:
+            raise WorkloadError("horizon_days must be positive")
+
+
+@dataclass
+class Workload:
+    """A generated trip collection plus its config and event stream."""
+
+    config: WorkloadConfig
+    trips: List[Trip]
+    hotspot_centers: np.ndarray
+
+    _events: Optional[List[CrossingEvent]] = field(default=None, repr=False)
+
+    @property
+    def horizon(self) -> float:
+        return self.config.horizon_days * DAY
+
+    def events(self, domain: MobilityDomain) -> List[CrossingEvent]:
+        """Time-sorted crossing events of all trips (cached)."""
+        if self._events is None:
+            self._events = all_events(domain, self.trips)
+        return self._events
+
+
+def generate_workload(
+    domain: MobilityDomain, config: WorkloadConfig = WorkloadConfig()
+) -> Workload:
+    """Generate a reproducible trip workload over the domain."""
+    rng = np.random.default_rng(config.seed)
+    bounds = domain.bounds
+    centers = np.column_stack(
+        [
+            rng.uniform(bounds.min_x, bounds.max_x, size=max(config.hotspots, 1)),
+            rng.uniform(bounds.min_y, bounds.max_y, size=max(config.hotspots, 1)),
+        ]
+    )
+    spread = config.hotspot_spread * max(bounds.width, bounds.height)
+
+    departures = _rush_hour_departures(rng, config)
+    plans = []
+    for object_id, depart in enumerate(departures):
+        origin = _sample_junction(domain, rng, config, centers, spread)
+        destination = _sample_junction(domain, rng, config, centers, spread)
+        attempts = 0
+        while destination == origin and attempts < 8:
+            destination = _sample_junction(domain, rng, config, centers, spread)
+            attempts += 1
+        speed = config.mean_speed * float(
+            rng.lognormal(mean=0.0, sigma=config.speed_sigma)
+        )
+        dwell = float(rng.exponential(config.mean_dwell))
+        plans.append((origin, destination, object_id, float(depart), speed, dwell))
+
+    # Plan trips grouped by origin so one Dijkstra tree per origin
+    # serves every trip departing from it.
+    plans.sort(key=lambda p: (repr(p[0]), p[3]))
+    trips: List[Trip] = []
+    current_origin = None
+    predecessor = None
+    for origin, destination, object_id, depart, speed, dwell in plans:
+        if origin != current_origin:
+            _, predecessor = domain.graph.dijkstra_tree(origin)
+            current_origin = origin
+        path = domain.graph.path_from_tree(origin, destination, predecessor)
+        if path is None:
+            raise WorkloadError(
+                f"no route between {origin!r} and {destination!r}"
+            )
+        trips.append(
+            plan_trip_along(
+                domain,
+                object_id=object_id,
+                path=path,
+                depart_time=depart,
+                speed=speed,
+                dwell_time=dwell,
+            )
+        )
+    trips.sort(key=lambda trip: trip.start_time)
+    return Workload(config=config, trips=trips, hotspot_centers=centers)
+
+
+def _rush_hour_departures(
+    rng: np.random.Generator, config: WorkloadConfig
+) -> np.ndarray:
+    """Departure times: rush-hour Gaussian mixture + uniform background."""
+    n = config.n_trips
+    days = rng.integers(0, int(math.ceil(config.horizon_days)), size=n)
+    is_rush = rng.random(n) < config.rush_weight
+    which_peak = rng.integers(0, len(config.rush_hours), size=n)
+    peak_hours = np.asarray(config.rush_hours)[which_peak]
+    rush_times = rng.normal(loc=peak_hours, scale=1.0) * 3600.0
+    uniform_times = rng.uniform(0.0, DAY, size=n)
+    time_of_day = np.where(is_rush, rush_times, uniform_times)
+    time_of_day = np.clip(time_of_day, 0.0, DAY - 1.0)
+    departures = days * DAY + time_of_day
+    return np.clip(departures, 0.0, config.horizon_days * DAY - 1.0)
+
+
+def _sample_junction(
+    domain: MobilityDomain,
+    rng: np.random.Generator,
+    config: WorkloadConfig,
+    centers: np.ndarray,
+    spread: float,
+) -> NodeId:
+    """Hotspot-biased or uniform junction sampling."""
+    if config.hotspots > 0 and rng.random() < config.hotspot_bias:
+        center = centers[rng.integers(0, len(centers))]
+        point = (
+            float(rng.normal(center[0], spread)),
+            float(rng.normal(center[1], spread)),
+        )
+        return domain.nearest_junction(point)
+    index = int(rng.integers(0, domain.junction_count))
+    return domain.junctions[index]

@@ -1,0 +1,151 @@
+"""SVG rendering of domains, sensing networks and query regions.
+
+Dependency-free visual output (the offline environment has no
+matplotlib): renders the road network, the monitored walls, the
+communication sensors and optional query rectangles into a standalone
+SVG file — the repository's counterpart of the paper's Figs. 2/4/6.
+
+>>> from repro.viz import render_network_svg
+>>> render_network_svg(network, "deployment.svg",
+...                    query_boxes=[box], title="QuadTree 25.6%")
+"""
+
+from __future__ import annotations
+
+import html
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence, Union
+
+from .geometry import BBox
+from .mobility import EXT, MobilityDomain
+from .sampling import SensorNetwork
+
+_STYLE = {
+    "road": 'stroke="#b9c0c7" stroke-width="0.35"',
+    "wall": 'stroke="#d4593b" stroke-width="0.9"',
+    "sensor": 'fill="#2458a8" stroke="white" stroke-width="0.3"',
+    "query": (
+        'fill="#3aa655" fill-opacity="0.15" stroke="#3aa655" '
+        'stroke-width="0.8" stroke-dasharray="2.5,1.5"'
+    ),
+    "junction": 'fill="#7a828a"',
+}
+
+
+def _svg_header(box: BBox, margin: float, title: str) -> List[str]:
+    width = box.width + 2 * margin
+    height = box.height + 2 * margin
+    lines = [
+        '<?xml version="1.0" encoding="UTF-8"?>',
+        (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'viewBox="{box.min_x - margin} {-(box.max_y + margin)} '
+            f'{width} {height}" width="800" height="800">'
+        ),
+        # Flip the y axis so the drawing matches the coordinate system.
+        '<g transform="scale(1,-1)">',
+        (
+            f'<rect x="{box.min_x - margin}" y="{box.min_y - margin}" '
+            f'width="{width}" height="{height}" fill="#fbfbf9"/>'
+        ),
+    ]
+    if title:
+        lines.append(
+            f'<title>{html.escape(title)}</title>'
+        )
+    return lines
+
+
+def render_domain_svg(
+    domain: MobilityDomain,
+    path: Union[str, Path],
+    query_boxes: Sequence[BBox] = (),
+    show_junctions: bool = True,
+    title: str = "",
+) -> Path:
+    """Render the road network (and optional query rectangles)."""
+    box = domain.bounds
+    margin = 0.03 * max(box.width, box.height)
+    lines = _svg_header(box, margin, title)
+    lines.extend(_road_elements(domain))
+    if show_junctions:
+        radius = 0.12 * _scale(domain)
+        for junction in domain.junctions:
+            x, y = domain.position(junction)
+            lines.append(
+                f'<circle cx="{x:.3f}" cy="{y:.3f}" r="{radius:.3f}" '
+                f'{_STYLE["junction"]}/>'
+            )
+    lines.extend(_query_elements(query_boxes))
+    lines.extend(["</g>", "</svg>"])
+    output = Path(path)
+    output.write_text("\n".join(lines))
+    return output
+
+
+def render_network_svg(
+    network: SensorNetwork,
+    path: Union[str, Path],
+    query_boxes: Sequence[BBox] = (),
+    title: str = "",
+) -> Path:
+    """Render a deployment: roads, monitored walls, sensors, queries."""
+    domain = network.domain
+    box = domain.bounds
+    margin = 0.03 * max(box.width, box.height)
+    lines = _svg_header(box, margin, title)
+    lines.extend(_road_elements(domain))
+
+    for u, v in network.walls:
+        if u == EXT or v == EXT:
+            continue  # geofence edges have no drawable geometry
+        x1, y1 = domain.position(u)
+        x2, y2 = domain.position(v)
+        lines.append(
+            f'<line x1="{x1:.3f}" y1="{y1:.3f}" x2="{x2:.3f}" '
+            f'y2="{y2:.3f}" {_STYLE["wall"]}/>'
+        )
+
+    radius = 0.35 * _scale(domain)
+    for sensor in network.sensors:
+        x, y = domain.dual.position(sensor)
+        lines.append(
+            f'<circle cx="{x:.3f}" cy="{y:.3f}" r="{radius:.3f}" '
+            f'{_STYLE["sensor"]}/>'
+        )
+    lines.extend(_query_elements(query_boxes))
+    lines.extend(["</g>", "</svg>"])
+    output = Path(path)
+    output.write_text("\n".join(lines))
+    return output
+
+
+def _road_elements(domain: MobilityDomain) -> List[str]:
+    elements = []
+    for u, v in domain.graph.edges():
+        x1, y1 = domain.position(u)
+        x2, y2 = domain.position(v)
+        elements.append(
+            f'<line x1="{x1:.3f}" y1="{y1:.3f}" x2="{x2:.3f}" '
+            f'y2="{y2:.3f}" {_STYLE["road"]}/>'
+        )
+    return elements
+
+
+def _query_elements(query_boxes: Iterable[BBox]) -> List[str]:
+    elements = []
+    for box in query_boxes:
+        elements.append(
+            f'<rect x="{box.min_x:.3f}" y="{box.min_y:.3f}" '
+            f'width="{box.width:.3f}" height="{box.height:.3f}" '
+            f'{_STYLE["query"]}/>'
+        )
+    return elements
+
+
+def _scale(domain: MobilityDomain) -> float:
+    """A drawing unit ~ the average road length."""
+    graph = domain.graph
+    if graph.edge_count == 0:
+        return 1.0
+    return graph.total_edge_length() / graph.edge_count

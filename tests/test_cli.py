@@ -1,0 +1,72 @@
+"""Unit tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_info_parses(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_demo_defaults(self):
+        args = build_parser().parse_args(["demo"])
+        assert args.blocks == 200
+        assert args.selector == "quadtree"
+        assert args.store == "exact"
+
+    def test_demo_rejects_unknown_selector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["demo", "--selector", "psychic"])
+
+    def test_city_requires_output(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["city"])
+
+
+class TestExecution:
+    def test_info_runs(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "selectors" in out
+
+    def test_city_generates_loadable_map(self, tmp_path, capsys):
+        path = tmp_path / "city.json"
+        assert main(["city", str(path), "--kind", "grid",
+                     "--blocks", "25"]) == 0
+        raw = json.loads(path.read_text())
+        assert raw["nodes"] and raw["edges"]
+
+        from repro.mobility import load_road_network
+
+        graph = load_road_network(path, prune_dead_ends=False)
+        assert graph.node_count == len(raw["nodes"])
+
+    @pytest.mark.parametrize("kind", ["grid", "radial", "organic"])
+    def test_city_kinds(self, tmp_path, kind):
+        path = tmp_path / f"{kind}.json"
+        assert main(["city", str(path), "--kind", kind,
+                     "--blocks", "30"]) == 0
+        assert path.exists()
+
+    def test_demo_small_run(self, capsys):
+        assert main(["demo", "--blocks", "60", "--trips", "200",
+                     "--fraction", "0.4", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "deployed:" in out
+        assert "ingested:" in out
+        assert "query @18:00" in out or "missed" in out
+
+    def test_demo_with_learned_store(self, capsys):
+        assert main(["demo", "--blocks", "60", "--trips", "200",
+                     "--fraction", "0.4", "--store", "linear",
+                     "--seed", "1"]) == 0
+        assert "(linear)" in capsys.readouterr().out

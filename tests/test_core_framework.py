@@ -1,0 +1,142 @@
+"""Unit tests for the public InNetworkFramework facade."""
+
+import numpy as np
+import pytest
+
+from repro import FrameworkConfig, InNetworkFramework
+from repro.errors import ConfigurationError, QueryError
+from repro.geometry import BBox
+from repro.mobility import organic_city
+from repro.query import TRANSIENT, UPPER
+
+
+@pytest.fixture(scope="module")
+def framework(request):
+    organic_domain = request.getfixturevalue("organic_domain")
+    workload = request.getfixturevalue("workload")
+    fw = InNetworkFramework(organic_domain)
+    fw.deploy(FrameworkConfig(selector="quadtree", budget=20, seed=3))
+    fw.ingest_trips(workload.trips)
+    return fw
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        FrameworkConfig()
+
+    def test_unknown_selector(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(selector="psychic")
+
+    def test_unknown_store(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(store="csv")
+
+    def test_tiny_budget(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(budget=1)
+
+    def test_bad_connectivity(self):
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(connectivity="teleport")
+
+
+class TestLifecycle:
+    def test_from_road_graph(self):
+        road = organic_city(blocks=40, rng=np.random.default_rng(0))
+        fw = InNetworkFramework.from_road_graph(road)
+        assert fw.domain.block_count > 0
+
+    def test_query_before_deploy_rejected(self, organic_domain):
+        fw = InNetworkFramework(organic_domain)
+        with pytest.raises(QueryError):
+            fw.query(BBox(0, 0, 5, 5), 0, 1)
+
+    def test_exact_before_ingest_rejected(self, organic_domain):
+        fw = InNetworkFramework(organic_domain)
+        with pytest.raises(QueryError):
+            fw.query_exact(BBox(0, 0, 5, 5), 0, 1)
+
+    def test_submodular_needs_history(self, organic_domain):
+        fw = InNetworkFramework(organic_domain)
+        with pytest.raises(ConfigurationError):
+            fw.deploy(FrameworkConfig(selector="submodular", budget=10))
+
+    def test_submodular_with_history(self, organic_domain, workload):
+        fw = InNetworkFramework(organic_domain)
+        fw.record_query_region(BBox(2, 2, 8, 8))
+        fw.record_query_region(BBox(1, 1, 5, 5))
+        network = fw.deploy(
+            FrameworkConfig(selector="submodular", budget=30)
+        )
+        assert network.walls
+
+    def test_redeploy_reingests(self, organic_domain, workload):
+        fw = InNetworkFramework(organic_domain)
+        fw.deploy(FrameworkConfig(selector="uniform", budget=10, seed=0))
+        fw.ingest_trips(workload.trips[:50])
+        fw.deploy(FrameworkConfig(selector="uniform", budget=15, seed=1))
+        result = fw.query(BBox(1, 1, 9, 9), 0, workload.horizon / 2)
+        assert result is not None  # store rebuilt after redeploy
+
+
+class TestQuerying:
+    def test_lower_bound_leq_exact_leq_upper(self, framework, workload):
+        box = BBox(1.5, 1.5, 8.5, 8.5)
+        t2 = 0.5 * workload.horizon
+        lower = framework.query(box, 0.0, t2, bound="lower")
+        upper = framework.query(box, 0.0, t2, bound="upper")
+        exact = framework.query_exact(box, 0.0, t2)
+        if not (lower.missed or upper.missed):
+            assert lower.value <= exact.value <= upper.value
+
+    def test_transient_kind(self, framework, workload):
+        box = BBox(2, 2, 8, 8)
+        result = framework.query(
+            box, 0.2 * workload.horizon, 0.7 * workload.horizon,
+            kind=TRANSIENT,
+        )
+        assert result is not None
+
+    def test_deployed_fraction(self, framework):
+        assert 0.0 < framework.deployed_fraction <= 1.0
+
+    def test_storage_reporting(self, framework):
+        assert framework.storage_bytes > 0
+
+    def test_repr(self, framework):
+        assert "InNetworkFramework" in repr(framework)
+
+
+class TestLearnedStores:
+    @pytest.mark.parametrize(
+        "store", ["linear", "polynomial", "piecewise", "histogram"]
+    )
+    def test_learned_store_answers_queries(
+        self, organic_domain, workload, store
+    ):
+        fw = InNetworkFramework(organic_domain)
+        fw.deploy(
+            FrameworkConfig(selector="quadtree", budget=16,
+                            store=store, seed=3)
+        )
+        fw.ingest_trips(workload.trips)
+        result = fw.query(BBox(1, 1, 9, 9), 0.0, 0.5 * workload.horizon)
+        assert not result.missed
+
+    def test_learned_store_smaller_than_exact(
+        self, organic_domain, workload
+    ):
+        exact_fw = InNetworkFramework(organic_domain)
+        exact_fw.deploy(
+            FrameworkConfig(selector="quadtree", budget=16, seed=3)
+        )
+        exact_fw.ingest_trips(workload.trips)
+
+        learned_fw = InNetworkFramework(organic_domain)
+        learned_fw.deploy(
+            FrameworkConfig(selector="quadtree", budget=16,
+                            store="linear", seed=3)
+        )
+        learned_fw.ingest_trips(workload.trips)
+        assert learned_fw.storage_bytes < exact_fw.storage_bytes

@@ -1,0 +1,131 @@
+"""Unit + property tests for the discrete exterior calculus helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import GraphStructureError
+from repro.forms import (
+    DifferentialForm,
+    circulation,
+    coboundary,
+    face_divergence,
+    integrate_potential,
+    is_exact,
+)
+from repro.planar import PlanarGraph
+
+
+def make_grid(n=4) -> PlanarGraph:
+    graph = PlanarGraph()
+    for i in range(n):
+        for j in range(n):
+            graph.add_node((i, j), (float(i), float(j)))
+    for i in range(n):
+        for j in range(n):
+            if i < n - 1:
+                graph.add_edge((i, j), (i + 1, j))
+            if j < n - 1:
+                graph.add_edge((i, j), (i, j + 1))
+    return graph
+
+
+class TestCoboundary:
+    def test_gradient_values(self):
+        graph = make_grid(3)
+        potential = {node: float(node[0]) for node in graph.nodes()}
+        form = coboundary(graph, potential)
+        assert form(((0, 0), (1, 0))) == 1.0  # east: +1
+        assert form(((0, 0), (0, 1))) == 0.0  # north: flat
+
+    def test_missing_nodes_default_zero(self):
+        graph = make_grid(3)
+        form = coboundary(graph, {(0, 0): 5.0})
+        assert form(((0, 0), (1, 0))) == -5.0
+
+
+class TestStokes:
+    def test_exact_form_circulates_to_zero(self):
+        graph = make_grid(4)
+        rng = np.random.default_rng(0)
+        potential = {node: float(rng.normal()) for node in graph.nodes()}
+        form = coboundary(graph, potential)
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert circulation(form, square) == pytest.approx(0.0)
+
+    def test_exact_form_divergence_free(self):
+        graph = make_grid(4)
+        rng = np.random.default_rng(1)
+        potential = {node: float(rng.normal()) for node in graph.nodes()}
+        form = coboundary(graph, potential)
+        divergence = face_divergence(graph, form)
+        assert all(abs(v) < 1e-9 for v in divergence.values())
+
+    def test_vortex_has_circulation(self):
+        graph = make_grid(3)
+        form = DifferentialForm()
+        # A unit vortex around the first cell.
+        for edge in [((0, 0), (1, 0)), ((1, 0), (1, 1)),
+                     ((1, 1), (0, 1)), ((0, 1), (0, 0))]:
+            form.set(edge, 1.0)
+        loop = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert circulation(form, loop) == pytest.approx(4.0)
+        assert not is_exact(graph, form)
+
+    def test_degenerate_cycle(self):
+        form = DifferentialForm()
+        assert circulation(form, [(0, 0)]) == 0.0
+
+
+class TestExactness:
+    def test_coboundary_is_exact(self):
+        graph = make_grid(4)
+        rng = np.random.default_rng(2)
+        potential = {node: float(rng.normal()) for node in graph.nodes()}
+        assert is_exact(graph, coboundary(graph, potential))
+
+    def test_potential_recovery(self):
+        graph = make_grid(4)
+        rng = np.random.default_rng(3)
+        potential = {node: float(rng.normal()) for node in graph.nodes()}
+        form = coboundary(graph, potential)
+        recovered = integrate_potential(graph, form, root=(0, 0))
+        offset = potential[(0, 0)] - recovered[(0, 0)]
+        for node in graph.nodes():
+            assert recovered[node] + offset == pytest.approx(potential[node])
+
+    def test_disconnected_rejected(self):
+        graph = make_grid(3)
+        graph.add_node("island", (9, 9))
+        with pytest.raises(GraphStructureError):
+            is_exact(graph, DifferentialForm())
+
+    def test_unknown_root_rejected(self):
+        graph = make_grid(3)
+        with pytest.raises(GraphStructureError):
+            integrate_potential(graph, DifferentialForm(), root="ghost")
+
+    def test_empty_graph(self):
+        assert integrate_potential(PlanarGraph(), DifferentialForm()) == {}
+
+
+class TestStokesProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-10, 10, allow_nan=False), min_size=16, max_size=16
+        ),
+        loop_seed=st.integers(0, 1000),
+    )
+    def test_every_exact_form_circulation_free(self, values, loop_seed):
+        """d∘d = 0, universally: any potential, any face loop."""
+        graph = make_grid(4)
+        potential = dict(zip(graph.nodes(), values))
+        form = coboundary(graph, potential)
+        from repro.planar import trace_faces
+
+        faces = trace_faces(graph).interior_faces
+        face = faces[loop_seed % len(faces)]
+        assert circulation(form, list(face.cycle)) == pytest.approx(
+            0.0, abs=1e-9
+        )

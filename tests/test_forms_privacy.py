@@ -1,0 +1,52 @@
+"""Unit tests for the Laplace-noise privacy wrapper."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.forms import LaplaceNoisyStore, TrackingForm
+
+
+@pytest.fixture()
+def exact_form() -> TrackingForm:
+    form = TrackingForm()
+    for t in range(100):
+        form.record("a", "b", float(t))
+    return form
+
+
+class TestLaplaceNoisyStore:
+    def test_invalid_epsilon(self, exact_form):
+        with pytest.raises(ConfigurationError):
+            LaplaceNoisyStore(exact_form, epsilon=0.0)
+
+    def test_deterministic_release(self, exact_form):
+        store = LaplaceNoisyStore(exact_form, epsilon=1.0, seed=3)
+        first = store.count_entering(("a", "b"), 50.0)
+        second = store.count_entering(("a", "b"), 50.0)
+        assert first == second
+
+    def test_noise_scale_tracks_epsilon(self, exact_form):
+        tight = LaplaceNoisyStore(exact_form, epsilon=100.0)
+        loose = LaplaceNoisyStore(exact_form, epsilon=0.1)
+        exact = exact_form.count_entering(("a", "b"), 50.0)
+        tight_errors = [
+            abs(tight.count_entering(("a", "b"), t) -
+                exact_form.count_entering(("a", "b"), t))
+            for t in np.linspace(0, 99, 25)
+        ]
+        loose_errors = [
+            abs(loose.count_entering(("a", "b"), t) -
+                exact_form.count_entering(("a", "b"), t))
+            for t in np.linspace(0, 99, 25)
+        ]
+        assert np.mean(tight_errors) < np.mean(loose_errors)
+        assert abs(tight.count_entering(("a", "b"), 50.0) - exact) < 1.0
+
+    def test_net_between_consistency(self, exact_form):
+        store = LaplaceNoisyStore(exact_form, epsilon=10.0, seed=1)
+        net = store.net_between(("a", "b"), 10.0, 20.0)
+        manual = store.net_until(("a", "b"), 20.0) - store.net_until(
+            ("a", "b"), 10.0
+        )
+        assert net == pytest.approx(manual)

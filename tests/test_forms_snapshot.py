@@ -1,0 +1,103 @@
+"""Unit tests for snapshot differential forms (Eq. 7, Theorem 4.1)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.forms import DifferentialForm, SnapshotForm
+
+
+class TestDifferentialForm:
+    def test_antisymmetry(self):
+        form = DifferentialForm()
+        form.set(("a", "b"), 3.0)
+        assert form(("a", "b")) == 3.0
+        assert form(("b", "a")) == -3.0
+
+    def test_set_via_reverse_direction(self):
+        form = DifferentialForm()
+        form.set(("b", "a"), 2.0)
+        assert form(("a", "b")) == -2.0
+
+    def test_add_accumulates(self):
+        form = DifferentialForm()
+        form.add(("a", "b"), 1.0)
+        form.add(("b", "a"), 1.0)
+        assert form(("a", "b")) == 0.0
+
+    def test_unknown_edge_zero(self):
+        assert DifferentialForm()(("x", "y")) == 0.0
+
+    def test_integrate(self):
+        form = DifferentialForm()
+        form.set(("a", "b"), 2.0)
+        form.set(("b", "c"), 3.0)
+        chain = [(("a", "b"), 1), (("b", "c"), 1), (("c", "a"), 1)]
+        assert form.integrate(chain) == 5.0
+
+    def test_support(self):
+        form = DifferentialForm()
+        form.set(("a", "b"), 1.0)
+        form.set(("c", "d"), 0.0)
+        assert len(list(form.support())) == 1
+
+
+class TestSnapshotForm:
+    def test_record_and_read(self):
+        form = SnapshotForm()
+        form.record("u", "v")
+        assert form.xi_plus(("u", "v")) == 1
+        assert form.xi_minus(("u", "v")) == 0
+        assert form.xi_plus(("v", "u")) == 0
+        assert form.xi_minus(("v", "u")) == 1
+
+    def test_net_antisymmetric(self):
+        form = SnapshotForm()
+        form.record("u", "v", 3)
+        form.record("v", "u", 1)
+        assert form.net(("u", "v")) == 2
+        assert form.net(("v", "u")) == -2
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(QueryError):
+            SnapshotForm().record("u", "v", -1)
+
+    def test_theorem_4_1_example(self):
+        """Fig. 8b: object T moves from face sigma to tau across edge c.
+
+        With the directed-edge convention (tail, head) = crossing toward
+        the head's face, the count inside tau is +1 and sigma nets 0
+        after T previously entered sigma from outside.
+        """
+        form = SnapshotForm()
+        # T enters sigma from the external world across edge (ext, s).
+        form.record("ext", "s")
+        # T moves from sigma to tau.
+        form.record("s", "t")
+        # Count in tau: boundary = the single inward edge (s, t).
+        assert form.integrate_edges([("s", "t")]) == 1
+        # Count in sigma: inward edges (ext, s) and (t, s).
+        assert form.integrate_edges([("ext", "s"), ("t", "s")]) == 0
+        # Count in the union {sigma, tau}: inward edge (ext, s) only.
+        assert form.integrate_edges([("ext", "s")]) == 1
+
+    def test_double_counting_cancels(self):
+        """An object exiting and re-entering is counted once (§3.1.2)."""
+        form = SnapshotForm()
+        form.record("out", "in")   # enter
+        form.record("in", "out")   # leave
+        form.record("out", "in")   # re-enter
+        assert form.integrate_edges([("out", "in")]) == 1
+
+    def test_integrate_with_weights(self):
+        form = SnapshotForm()
+        form.record("a", "b", 2)
+        assert form.integrate([(("a", "b"), 2)]) == 4
+        assert form.integrate([(("b", "a"), 1)]) == -2
+
+    def test_counters(self):
+        form = SnapshotForm()
+        form.record("a", "b")
+        form.record("b", "a")
+        form.record("c", "d", 5)
+        assert form.edge_count == 2
+        assert form.total_crossings == 7

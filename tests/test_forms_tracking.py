@@ -1,0 +1,112 @@
+"""Unit tests for tracking forms (Eq. 8, Theorems 4.2 and 4.3)."""
+
+import pytest
+
+from repro.errors import QueryError
+from repro.forms import TrackingForm, static_count, transient_count
+
+
+@pytest.fixture()
+def figure_10_form() -> TrackingForm:
+    """The exact scenario of Fig. 10.
+
+    Edges a, b, c border face sigma.  A blue trajectory enters through
+    b at t0 and exits through c at t3; green enters through b at t2;
+    red enters through a at t1.  We model the edges as directed
+    crossings into sigma: ('a_out', 'sigma'), ('b_out', 'sigma'),
+    ('c_out', 'sigma').
+    """
+    form = TrackingForm()
+    form.record("b_out", "sigma", 0.0)   # blue enters through b at t0
+    form.record("a_out", "sigma", 1.0)   # red enters through a at t1
+    form.record("b_out", "sigma", 2.0)   # green enters through b at t2
+    form.record("sigma", "c_out", 3.0)   # blue exits through c at t3
+    return form
+
+
+BOUNDARY = [("a_out", "sigma"), ("b_out", "sigma"), ("c_out", "sigma")]
+
+
+class TestCountFunction:
+    def test_count_entering_until(self, figure_10_form):
+        form = figure_10_form
+        assert form.count_entering(("b_out", "sigma"), 2.0) == 2
+        assert form.count_entering(("b_out", "sigma"), 1.9) == 1
+        assert form.count_entering(("b_out", "sigma"), -1.0) == 0
+
+    def test_count_right_continuous(self, figure_10_form):
+        # The event at exactly t is included (counts are right-continuous).
+        assert figure_10_form.count_entering(("a_out", "sigma"), 1.0) == 1
+
+    def test_count_leaving(self, figure_10_form):
+        assert figure_10_form.count_leaving(("c_out", "sigma"), 3.0) == 1
+
+    def test_net_until(self, figure_10_form):
+        assert figure_10_form.net_until(("c_out", "sigma"), 3.0) == -1
+
+    def test_net_between_inverted_raises(self, figure_10_form):
+        with pytest.raises(QueryError):
+            figure_10_form.net_between(("a_out", "sigma"), 5.0, 1.0)
+
+
+class TestTheorem42:
+    """Static count: paper's worked example gives 2 objects at t3."""
+
+    def test_count_at_t3(self, figure_10_form):
+        assert figure_10_form.integrate_until(BOUNDARY, 3.0) == 2
+
+    def test_count_before_any_event(self, figure_10_form):
+        assert figure_10_form.integrate_until(BOUNDARY, -0.5) == 0
+
+    def test_count_mid_sequence(self, figure_10_form):
+        # After blue and red entered (t1) but before green: 2 inside.
+        assert figure_10_form.integrate_until(BOUNDARY, 1.5) == 2
+
+    def test_protocol_helper(self, figure_10_form):
+        assert static_count(figure_10_form, BOUNDARY, 3.0) == 2
+
+
+class TestTheorem43:
+    """Transient count: paper's example nets 0 over [t1, t3]."""
+
+    def test_transient_t1_t3(self, figure_10_form):
+        assert figure_10_form.integrate_between(BOUNDARY, 1.0, 3.0) == 0
+
+    def test_transient_entry_only_window(self, figure_10_form):
+        # (t_-, t2]: red + green entered, blue entered at t0 (excluded).
+        assert figure_10_form.integrate_between(BOUNDARY, 0.5, 2.5) == 2
+
+    def test_transient_negative_when_leaving(self, figure_10_form):
+        assert figure_10_form.integrate_between(BOUNDARY, 2.5, 3.5) == -1
+
+    def test_protocol_helper(self, figure_10_form):
+        assert transient_count(figure_10_form, BOUNDARY, 1.0, 3.0) == 0
+
+
+class TestStorageAccounting:
+    def test_out_of_order_timestamps_sorted_lazily(self):
+        form = TrackingForm()
+        form.record("a", "b", 5.0)
+        form.record("a", "b", 1.0)
+        assert form.count_entering(("a", "b"), 2.0) == 1
+
+    def test_event_count(self, figure_10_form):
+        assert figure_10_form.total_events == 4
+        assert figure_10_form.event_count(("b_out", "sigma")) == 2
+
+    def test_timestamps(self, figure_10_form):
+        plus, minus = figure_10_form.timestamps(("b_out", "sigma"))
+        assert plus == [0.0, 2.0]
+        assert minus == []
+
+    def test_storage_profile(self, figure_10_form):
+        profile = figure_10_form.storage_profile()
+        assert sum(profile) == 4
+        assert profile == sorted(profile)
+
+    def test_empty_edge_queries(self):
+        form = TrackingForm()
+        assert form.count_entering(("x", "y"), 10.0) == 0
+        assert form.net_until(("x", "y"), 10.0) == 0
+        assert form.timestamps(("x", "y")) == ([], [])
+        assert form.event_count(("x", "y")) == 0

@@ -1,0 +1,122 @@
+"""Unit tests for convex hull, Delaunay triangulation and SpatialGrid."""
+
+import numpy as np
+import pytest
+
+from repro.errors import GeometryError
+from repro.geometry import (
+    BBox,
+    SpatialGrid,
+    convex_hull,
+    delaunay_edges,
+    delaunay_triangles,
+    is_counter_clockwise,
+    point_in_polygon,
+)
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1)]
+        hull = convex_hull(pts)
+        assert len(hull) == 4
+        assert (1, 1) not in hull
+
+    def test_hull_is_ccw(self):
+        rng = np.random.default_rng(0)
+        pts = [tuple(p) for p in rng.uniform(0, 10, size=(40, 2))]
+        hull = convex_hull(pts)
+        assert is_counter_clockwise(hull)
+
+    def test_all_points_inside_hull(self):
+        rng = np.random.default_rng(1)
+        pts = [tuple(p) for p in rng.uniform(0, 10, size=(60, 2))]
+        hull = convex_hull(pts)
+        assert all(point_in_polygon(p, hull) for p in pts)
+
+    def test_collinear_points(self):
+        hull = convex_hull([(0, 0), (1, 1), (2, 2)])
+        assert len(hull) == 2
+
+    def test_single_point(self):
+        assert convex_hull([(3, 3)]) == [(3.0, 3.0)]
+
+    def test_empty_raises(self):
+        with pytest.raises(GeometryError):
+            convex_hull([])
+
+    def test_duplicates_collapsed(self):
+        hull = convex_hull([(0, 0), (0, 0), (1, 0), (0, 1)])
+        assert len(hull) == 3
+
+
+class TestDelaunay:
+    def test_two_points_single_edge(self):
+        assert delaunay_edges([(0, 0), (1, 1)]) == [(0, 1)]
+
+    def test_triangle(self):
+        edges = delaunay_edges([(0, 0), (1, 0), (0.5, 1)])
+        assert sorted(edges) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_square_has_five_edges(self):
+        # 4 sides + 1 diagonal.
+        edges = delaunay_edges([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(edges) == 5
+
+    def test_collinear_fallback_path(self):
+        edges = delaunay_edges([(0, 0), (1, 0), (2, 0), (3, 0)])
+        assert edges == [(0, 1), (1, 2), (2, 3)]
+
+    def test_single_point_raises(self):
+        with pytest.raises(GeometryError):
+            delaunay_edges([(0, 0)])
+
+    def test_edge_count_bound(self):
+        # Planar graph: at most 3n - 6 edges.
+        rng = np.random.default_rng(2)
+        pts = [tuple(p) for p in rng.uniform(0, 10, size=(50, 2))]
+        edges = delaunay_edges(pts)
+        assert len(edges) <= 3 * 50 - 6
+
+    def test_triangles(self):
+        tris = delaunay_triangles([(0, 0), (1, 0), (1, 1), (0, 1)])
+        assert len(tris) == 2
+
+    def test_triangles_too_few_points(self):
+        with pytest.raises(GeometryError):
+            delaunay_triangles([(0, 0), (1, 1)])
+
+
+class TestSpatialGrid:
+    def test_insert_and_query_point(self):
+        grid: SpatialGrid = SpatialGrid(BBox(0, 0, 10, 10), 1.0)
+        grid.insert("a", BBox(1, 1, 2, 2))
+        assert "a" in grid.query_point((1.5, 1.5))
+        assert grid.query_point((8, 8)) == set()
+
+    def test_query_bbox_no_false_negatives(self):
+        grid: SpatialGrid = SpatialGrid(BBox(0, 0, 10, 10), 0.7)
+        rng = np.random.default_rng(3)
+        boxes = []
+        for index in range(100):
+            x, y = rng.uniform(0, 9, 2)
+            box = BBox(x, y, x + rng.uniform(0.1, 1), y + rng.uniform(0.1, 1))
+            boxes.append(box)
+            grid.insert(index, box)
+        probe = BBox(2, 2, 5, 5)
+        found = grid.query_bbox(probe)
+        expected = {i for i, b in enumerate(boxes) if b.intersects(probe)}
+        assert expected <= found
+
+    def test_len_counts_items_not_cells(self):
+        grid: SpatialGrid = SpatialGrid(BBox(0, 0, 10, 10), 1.0)
+        grid.insert("wide", BBox(0, 0, 9, 9))
+        assert len(grid) == 1
+
+    def test_invalid_cell_size(self):
+        with pytest.raises(GeometryError):
+            SpatialGrid(BBox(0, 0, 1, 1), 0.0)
+
+    def test_for_items_sizing(self):
+        grid: SpatialGrid = SpatialGrid.for_items(BBox(0, 0, 10, 10), 100)
+        assert grid.cell_size > 0

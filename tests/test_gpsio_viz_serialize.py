@@ -1,0 +1,222 @@
+"""Unit tests for GPS import, SVG rendering and deployment serialization."""
+
+import csv
+import xml.etree.ElementTree as ElementTree
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, WorkloadError
+from repro.forms import TrackingForm
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, organic_city
+from repro.sampling import load_network, save_network
+from repro.trajectories import (
+    export_trips_as_gps,
+    load_gps_trips,
+    occupancy_count,
+    read_gps_csv,
+    trips_from_fixes,
+)
+from repro.viz import render_domain_svg, render_network_svg
+
+
+# ----------------------------------------------------------------------
+# GPS I/O (§5.1.3 pre-processing)
+# ----------------------------------------------------------------------
+class TestGpsCsv:
+    def test_read_valid(self, tmp_path):
+        path = tmp_path / "trace.csv"
+        path.write_text("object_id,t,x,y\n1,0.0,2.5,3.5\n1,10.0,3.0,3.0\n")
+        fixes = read_gps_csv(path)
+        assert fixes == [(1, 0.0, 2.5, 3.5), (1, 10.0, 3.0, 3.0)]
+
+    def test_missing_columns_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("id,time\n1,0\n")
+        with pytest.raises(WorkloadError):
+            read_gps_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("object_id,t,x,y\n1,zero,2,3\n")
+        with pytest.raises(WorkloadError):
+            read_gps_csv(path)
+
+
+class TestTripsFromFixes:
+    def test_map_matching_round_trip(self, grid_domain, tmp_path):
+        """Export noiseless GPS from known trips, re-import, and check
+        the occupancy ground truth survives the round trip."""
+        from repro.trajectories import plan_trip
+
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 10))
+        original = plan_trip(grid_domain, 7, a, b, 100.0, 0.01,
+                             dwell_time=500.0)
+        path = tmp_path / "trips.csv"
+        export_trips_as_gps(grid_domain, [original], path)
+        loaded = load_gps_trips(grid_domain, path)
+        assert len(loaded) == 1
+        trip = loaded[0]
+        assert trip.origin == a
+        assert trip.destination == b
+        region = {b}
+        probe = original.end_time - 1.0
+        assert occupancy_count([trip], region, probe) == occupancy_count(
+            [original], region, probe
+        )
+
+    def test_noisy_gps_still_matches(self, grid_domain, tmp_path):
+        from repro.trajectories import plan_trip
+
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 0))
+        original = plan_trip(grid_domain, 1, a, b, 0.0, 0.01, 100.0)
+        path = tmp_path / "noisy.csv"
+        export_trips_as_gps(grid_domain, [original], path,
+                            jitter=0.3, rng=np.random.default_rng(0))
+        loaded = load_gps_trips(grid_domain, path)
+        # Jitter of 0.3 on a spacing-1.67 grid: snaps stay correct.
+        assert loaded[0].origin == a
+        assert loaded[0].destination == b
+
+    def test_single_fix_objects_dropped(self, grid_domain):
+        trips = trips_from_fixes(grid_domain, [(1, 0.0, 5.0, 5.0)])
+        assert trips == []
+
+    def test_stationary_object_gets_observable_dwell(self, grid_domain):
+        trips = trips_from_fixes(
+            grid_domain,
+            [(1, 0.0, 5.0, 5.0), (1, 60.0, 5.05, 5.0)],
+        )
+        assert len(trips) == 1
+        assert trips[0].end_time > trips[0].start_time
+
+    def test_unsorted_and_duplicate_timestamps(self, grid_domain):
+        fixes = [
+            (1, 50.0, 10.0, 10.0),
+            (1, 0.0, 0.0, 0.0),
+            (1, 50.0, 10.0, 9.8),  # duplicate t: last wins
+        ]
+        trips = trips_from_fixes(grid_domain, fixes)
+        assert len(trips) == 1
+        times = [t for _, t in trips[0].visits]
+        assert times == sorted(times)
+
+    def test_invalid_min_fixes(self, grid_domain):
+        with pytest.raises(WorkloadError):
+            trips_from_fixes(grid_domain, [], min_fixes=0)
+
+    def test_ingested_counts_consistent(self, grid_domain, tmp_path):
+        """GPS-imported trips drive the standard counting pipeline."""
+        from repro.trajectories import all_events, plan_trip
+
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((5, 5))
+        trips = [plan_trip(grid_domain, i, a, b, 10.0 * i, 0.01, 300.0)
+                 for i in range(3)]
+        path = tmp_path / "fleet.csv"
+        export_trips_as_gps(grid_domain, trips, path)
+        loaded = load_gps_trips(grid_domain, path)
+        form = TrackingForm()
+        for event in all_events(grid_domain, loaded):
+            form.record(event.tail, event.head, event.t)
+        region = {b}
+        chain = grid_domain.inward_boundary_edges(region)
+        probe = max(t.end_time for t in loaded) - 1.0
+        assert form.integrate_until(chain, probe) == occupancy_count(
+            loaded, region, probe
+        )
+
+
+# ----------------------------------------------------------------------
+# SVG rendering
+# ----------------------------------------------------------------------
+class TestViz:
+    def test_domain_svg_valid_xml(self, grid_domain, tmp_path):
+        path = render_domain_svg(
+            grid_domain, tmp_path / "domain.svg",
+            query_boxes=[BBox(2, 2, 6, 6)], title="test",
+        )
+        root = ElementTree.parse(path).getroot()
+        assert root.tag.endswith("svg")
+        body = path.read_text()
+        assert body.count("<line") == grid_domain.graph.edge_count
+        assert "<rect" in body  # query box + background
+
+    def test_network_svg_draws_walls_and_sensors(
+        self, sampled_net, tmp_path
+    ):
+        path = render_network_svg(sampled_net, tmp_path / "net.svg")
+        body = path.read_text()
+        ElementTree.fromstring(body)  # well-formed
+        assert body.count('stroke="#d4593b"') == sum(
+            1 for u, v in sampled_net.walls
+            if "__ext__" not in (u, v)
+        )
+        assert body.count('fill="#2458a8"') == len(sampled_net.sensors)
+
+    def test_junctions_toggle(self, grid_domain, tmp_path):
+        with_junctions = render_domain_svg(
+            grid_domain, tmp_path / "a.svg", show_junctions=True
+        ).read_text()
+        without = render_domain_svg(
+            grid_domain, tmp_path / "b.svg", show_junctions=False
+        ).read_text()
+        assert with_junctions.count("<circle") > without.count("<circle")
+
+
+# ----------------------------------------------------------------------
+# Deployment serialization
+# ----------------------------------------------------------------------
+class TestSerialization:
+    def test_round_trip(self, organic_domain, sampled_net, tmp_path):
+        path = tmp_path / "deployment.json"
+        save_network(sampled_net, path)
+        loaded = load_network(organic_domain, path)
+        assert loaded.sensors == sampled_net.sensors
+        assert loaded.walls == sampled_net.walls
+        assert loaded.wall_owners == sampled_net.wall_owners
+        assert loaded.region_count == sampled_net.region_count
+        # Region partition identical.
+        for junction in organic_domain.junctions:
+            original = sampled_net.region_junctions(
+                sampled_net.region_of(junction)
+            )
+            restored = loaded.region_junctions(loaded.region_of(junction))
+            assert original == restored
+
+    def test_counts_identical_after_reload(
+        self, organic_domain, sampled_net, events, workload, tmp_path
+    ):
+        path = tmp_path / "deployment.json"
+        save_network(sampled_net, path)
+        loaded = load_network(organic_domain, path)
+        region_ids = loaded.lower_regions(
+            organic_domain.junctions_in_bbox(BBox(1.5, 1.5, 8.5, 8.5))
+        )
+        if not region_ids:
+            pytest.skip("too coarse at this seed")
+        form = loaded.build_form(events)
+        boundary = loaded.region_boundary(region_ids)
+        original_form = sampled_net.build_form(events)
+        t = 0.5 * workload.horizon
+        assert form.integrate_until(boundary, t) == pytest.approx(
+            original_form.integrate_until(boundary, t)
+        )
+
+    def test_wrong_domain_rejected(self, sampled_net, tmp_path):
+        other = MobilityDomain(
+            organic_city(blocks=40, rng=np.random.default_rng(99))
+        )
+        path = tmp_path / "deployment.json"
+        save_network(sampled_net, path)
+        with pytest.raises(ConfigurationError):
+            load_network(other, path)
+
+    def test_not_a_network_file_rejected(self, organic_domain, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(ConfigurationError):
+            load_network(organic_domain, path)

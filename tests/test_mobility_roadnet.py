@@ -1,0 +1,110 @@
+"""Unit tests for synthetic road-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.mobility import grid_city, organic_city, radial_city
+from repro.planar import euler_characteristic, trace_faces
+
+
+GENERATORS = [
+    lambda rng: grid_city(rows=8, cols=8, rng=rng),
+    lambda rng: radial_city(rings=4, spokes=10, rng=rng),
+    lambda rng: organic_city(blocks=60, rng=rng),
+]
+
+
+@pytest.mark.parametrize("make", GENERATORS)
+class TestCommonInvariants:
+    def test_connected(self, make):
+        graph = make(np.random.default_rng(0))
+        assert graph.is_connected()
+
+    def test_no_dead_ends(self, make):
+        graph = make(np.random.default_rng(0))
+        assert all(graph.degree(n) >= 2 for n in graph.nodes())
+
+    def test_valid_embedding(self, make):
+        graph = make(np.random.default_rng(0))
+        faces = trace_faces(graph)
+        assert euler_characteristic(graph, faces) == 2
+        assert faces.outer_face_id is not None
+
+    def test_deterministic_given_seed(self, make):
+        g1 = make(np.random.default_rng(7))
+        g2 = make(np.random.default_rng(7))
+        assert sorted(map(str, g1.edges())) == sorted(map(str, g2.edges()))
+
+    def test_positive_face_areas(self, make):
+        graph = make(np.random.default_rng(0))
+        faces = trace_faces(graph)
+        for face in faces.interior_faces:
+            assert face.signed_area > 0
+
+
+class TestGridCity:
+    def test_unperturbed_grid_regular(self):
+        graph = grid_city(rows=5, cols=5, jitter=0.0, drop_fraction=0.0)
+        assert graph.node_count == 25
+        assert graph.edge_count == 40
+
+    def test_drop_fraction_reduces_edges(self):
+        dense = grid_city(rows=8, cols=8, drop_fraction=0.0,
+                          rng=np.random.default_rng(1))
+        sparse = grid_city(rows=8, cols=8, drop_fraction=0.2,
+                           rng=np.random.default_rng(1))
+        assert sparse.edge_count < dense.edge_count
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            grid_city(rows=1, cols=5)
+
+    def test_invalid_drop_fraction(self):
+        with pytest.raises(ConfigurationError):
+            grid_city(drop_fraction=0.7)
+
+    def test_extent_respected(self):
+        graph = grid_city(rows=5, cols=5, extent=20.0, jitter=0.0)
+        box = graph.bounds()
+        assert box.max_x == pytest.approx(20.0)
+
+
+class TestRadialCity:
+    def test_parameters_validated(self):
+        with pytest.raises(ConfigurationError):
+            radial_city(rings=1)
+        with pytest.raises(ConfigurationError):
+            radial_city(spokes=2)
+
+    def test_block_count_scales_with_rings(self):
+        small = radial_city(rings=3, spokes=8, rng=np.random.default_rng(0))
+        large = radial_city(rings=6, spokes=8, rng=np.random.default_rng(0))
+        small_faces = len(trace_faces(small).interior_faces)
+        large_faces = len(trace_faces(large).interior_faces)
+        assert large_faces > small_faces
+
+
+class TestOrganicCity:
+    def test_block_count_close_to_request(self):
+        graph = organic_city(blocks=80, rng=np.random.default_rng(2))
+        faces = trace_faces(graph)
+        # Boundary effects trim a few blocks; stay within 40%.
+        assert len(faces.interior_faces) >= 0.6 * 80
+
+    def test_too_few_blocks_rejected(self):
+        with pytest.raises(ConfigurationError):
+            organic_city(blocks=3)
+
+    def test_nodes_inside_extent(self):
+        graph = organic_city(blocks=50, extent=10.0,
+                             rng=np.random.default_rng(3))
+        box = graph.bounds()
+        assert box.min_x >= -1e-6 and box.max_x <= 10.0 + 1e-6
+        assert box.min_y >= -1e-6 and box.max_y <= 10.0 + 1e-6
+
+    def test_irregular_block_sizes(self):
+        # Organic cities should have varied block areas (unlike grids).
+        graph = organic_city(blocks=60, rng=np.random.default_rng(4))
+        areas = [f.area for f in trace_faces(graph).interior_faces]
+        assert np.std(areas) / np.mean(areas) > 0.2

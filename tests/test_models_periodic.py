@@ -1,0 +1,82 @@
+"""Unit tests for the daily-periodic count model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelError
+from repro.models import LinearModel, PeriodicModel
+
+DAY = 86_400.0
+
+
+def rush_hour_stream(days=4, per_day=200, seed=0) -> np.ndarray:
+    """Multi-day stream with morning/evening peaks."""
+    rng = np.random.default_rng(seed)
+    times = []
+    for day in range(days):
+        peaks = rng.normal(
+            loc=np.where(rng.random(per_day) < 0.5, 8.0, 18.0) * 3600,
+            scale=3600.0,
+        )
+        times.append(day * DAY + np.clip(peaks, 0, DAY - 1))
+    return np.sort(np.concatenate(times))
+
+
+class TestValidation:
+    def test_invalid_period(self):
+        with pytest.raises(ModelError):
+            PeriodicModel(period=0)
+
+    def test_invalid_bins(self):
+        with pytest.raises(ModelError):
+            PeriodicModel(profile_bins=0)
+
+
+class TestFitting:
+    def test_beats_linear_on_rush_hours(self):
+        times = rush_hour_stream()
+        linear = LinearModel().fit(times)
+        periodic = PeriodicModel(profile_bins=24).fit(times)
+        probes = np.linspace(times[0], times[-1], 200)
+        linear_err, periodic_err = [], []
+        for t in probes:
+            exact = np.searchsorted(times, t, side="right")
+            linear_err.append(abs(linear.predict(t) - exact))
+            periodic_err.append(abs(periodic.predict(t) - exact))
+        assert np.mean(periodic_err) < 0.6 * np.mean(linear_err)
+
+    def test_bounded_and_clamped(self):
+        times = rush_hour_stream(days=2)
+        model = PeriodicModel().fit(times)
+        assert model.predict(-100.0) == 0.0
+        assert model.predict(times[-1] + 1) == len(times)
+        for t in np.linspace(times[0], times[-1], 50):
+            assert 0 <= model.predict(t) <= len(times)
+
+    def test_single_event(self):
+        model = PeriodicModel().fit([5.0])
+        assert model.predict(5.0) == 1.0
+        assert model.predict(4.0) == 0.0
+
+    def test_empty(self):
+        model = PeriodicModel().fit([])
+        assert model.predict(100.0) == 0.0
+
+    def test_storage_constant(self):
+        small = PeriodicModel(profile_bins=24).fit(rush_hour_stream(days=1))
+        large = PeriodicModel(profile_bins=24).fit(rush_hour_stream(days=8))
+        assert small.storage_bytes == large.storage_bytes
+        assert small.parameter_count == 26
+
+    def test_sparse_phases_filled_circularly(self):
+        # Events only in one hour of the day: other phase bins must
+        # still produce finite predictions.
+        rng = np.random.default_rng(1)
+        times = np.sort(
+            np.concatenate(
+                [day * DAY + rng.uniform(3600, 7200, 30) for day in range(3)]
+            )
+        )
+        model = PeriodicModel(profile_bins=24).fit(times)
+        for t in np.linspace(times[0], times[-1], 40):
+            assert np.isfinite(model.predict(t))

@@ -1,0 +1,172 @@
+"""Property-based tests of the SensorNetwork region/counting machinery.
+
+For *any* subset of sensing edges chosen as walls, and *any* movement
+history, the wall-defined regions must partition the junctions and the
+boundary-integrated counts must equal exact occupancy on every region
+union.  This is the sampled-graph correctness claim of the paper made
+universal: a sampled network is never wrong about its own regions, only
+coarser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.forms import TrackingForm
+from repro.mobility import EXT, MobilityDomain, grid_city
+from repro.planar import canonical_edge
+from repro.sampling import wall_network
+from repro.trajectories import Trip, occupancy_count, trip_events
+
+#: Small fixed domain shared by every example (5x5 grid).
+DOMAIN = MobilityDomain(grid_city(rows=5, cols=5, jitter=0.0,
+                                  drop_fraction=0.0))
+ALL_SENSING_EDGES = sorted(
+    (canonical_edge(u, v) for u, v in DOMAIN.sensing_edges()), key=repr
+)
+JUNCTIONS = list(DOMAIN.junctions)
+
+
+wall_subsets = st.sets(
+    st.sampled_from(range(len(ALL_SENSING_EDGES))), max_size=40
+)
+
+
+@st.composite
+def random_trips(draw):
+    """A handful of shortest-path trips with integer timestamps."""
+    n = draw(st.integers(1, 4))
+    trips = []
+    for object_id in range(n):
+        origin = JUNCTIONS[draw(st.integers(0, len(JUNCTIONS) - 1))]
+        destination = JUNCTIONS[draw(st.integers(0, len(JUNCTIONS) - 1))]
+        depart = float(draw(st.integers(0, 50)))
+        path = DOMAIN.graph.shortest_path(origin, destination)
+        visits = [(path[0], depart)]
+        t = depart
+        for node in path[1:]:
+            t += 1.0
+            visits.append((node, t))
+        dwell = float(draw(st.integers(1, 20)))
+        visits.append((visits[-1][0], t + dwell))
+        trips.append(Trip(object_id=object_id, visits=tuple(visits)))
+    return trips
+
+
+class TestWallPartitionProperties:
+    @settings(max_examples=80, deadline=None)
+    @given(subset=wall_subsets)
+    def test_regions_partition_junctions(self, subset):
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        seen = set()
+        for region in network.region_ids:
+            junctions = network.region_junctions(region)
+            assert not (seen & junctions)
+            seen |= junctions
+        seen |= network.region_junctions(network.ext_region)
+        assert seen == set(JUNCTIONS)
+
+    @settings(max_examples=80, deadline=None)
+    @given(subset=wall_subsets)
+    def test_boundary_edges_separate_regions(self, subset):
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        regions = network.region_ids
+        if not regions:
+            return
+        chosen = regions[: max(1, len(regions) // 2)]
+        for tail, head in network.region_boundary(chosen):
+            head_region = network.region_of(head)
+            tail_region = (
+                network.ext_region
+                if tail == EXT
+                else network.region_of(tail)
+            )
+            assert head_region in chosen
+            assert tail_region not in chosen
+
+    @settings(max_examples=60, deadline=None)
+    @given(subset=wall_subsets, trips=random_trips(),
+           probe=st.integers(0, 120))
+    def test_counts_exact_on_any_region_union(self, subset, trips, probe):
+        """Theorem 4.2 holds for every wall configuration."""
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        regions = network.region_ids
+        if not regions:
+            return
+        chosen = regions[::2] or regions[:1]
+
+        form = TrackingForm()
+        for trip in trips:
+            for event in trip_events(DOMAIN, trip):
+                if canonical_edge(event.tail, event.head) in network.walls:
+                    form.record(event.tail, event.head, event.t)
+
+        junctions = set()
+        for region in chosen:
+            junctions |= network.region_junctions(region)
+        boundary = network.region_boundary(chosen)
+        estimate = form.integrate_until(boundary, float(probe))
+        truth = occupancy_count(trips, junctions, float(probe))
+        assert estimate == truth
+
+    @settings(max_examples=50, deadline=None)
+    @given(subset=wall_subsets)
+    def test_lower_regions_nest_in_query(self, subset):
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        from repro.geometry import BBox
+
+        query = DOMAIN.junctions_in_bbox(BBox(2, 2, 8, 8))
+        for region in network.lower_regions(query):
+            assert network.region_junctions(region) <= query
+
+    @settings(max_examples=40, deadline=None)
+    @given(subset=wall_subsets, trips=random_trips(),
+           probe=st.integers(0, 120))
+    def test_bound_sandwich(self, subset, trips, probe):
+        """lower-bound count <= true count <= upper-bound count, for
+        every wall configuration and movement history."""
+        from repro.geometry import BBox
+
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        query = DOMAIN.junctions_in_bbox(BBox(2, 2, 8, 8))
+
+        form = TrackingForm()
+        for trip in trips:
+            for event in trip_events(DOMAIN, trip):
+                if canonical_edge(event.tail, event.head) in network.walls:
+                    form.record(event.tail, event.head, event.t)
+
+        truth = occupancy_count(trips, query, float(probe))
+        lower = network.lower_regions(query)
+        if lower:
+            estimate = form.integrate_until(
+                network.region_boundary(lower), float(probe)
+            )
+            assert estimate <= truth
+        upper, covered = network.upper_regions(query)
+        if covered and upper:
+            estimate = form.integrate_until(
+                network.region_boundary(upper), float(probe)
+            )
+            assert estimate >= truth
+
+    @settings(max_examples=50, deadline=None)
+    @given(subset=wall_subsets)
+    def test_upper_regions_cover_query_when_covered(self, subset):
+        walls = [ALL_SENSING_EDGES[i] for i in subset]
+        network = wall_network(DOMAIN, walls, sensors=[0])
+        from repro.geometry import BBox
+
+        query = DOMAIN.junctions_in_bbox(BBox(2, 2, 8, 8))
+        regions, covered = network.upper_regions(query)
+        if covered:
+            union = set()
+            for region in regions:
+                union |= network.region_junctions(region)
+            assert query <= union

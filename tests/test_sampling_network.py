@@ -1,0 +1,216 @@
+"""Unit tests for connectivity generation and SensorNetwork."""
+
+import numpy as np
+import pytest
+
+from repro.errors import QueryError, SelectionError
+from repro.geometry import BBox
+from repro.mobility import EXT
+from repro.planar import canonical_edge
+from repro.sampling import (
+    full_network,
+    knn_edges,
+    sampled_network,
+    triangulation_edges,
+    wall_network,
+)
+from repro.trajectories import occupancy_count
+
+
+class TestConnectivity:
+    def test_triangulation_two_points(self):
+        assert triangulation_edges(np.array([[0, 0], [1, 1]])) == [(0, 1)]
+
+    def test_triangulation_too_few(self):
+        with pytest.raises(SelectionError):
+            triangulation_edges(np.array([[0, 0]]))
+
+    def test_knn_symmetric_dedup(self):
+        positions = np.array([[0, 0], [1, 0], [2, 0], [10, 0]])
+        edges = knn_edges(positions, k=1)
+        # (0,1) chosen by both 0 and 1 -> appears once.
+        assert (0, 1) in edges
+        assert len(edges) == len(set(edges))
+
+    def test_knn_k_larger_than_n(self):
+        positions = np.array([[0, 0], [1, 0], [0, 1]])
+        edges = knn_edges(positions, k=10)
+        assert len(edges) == 3  # complete graph on 3 nodes
+
+    def test_knn_more_edges_with_larger_k(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 10, size=(30, 2))
+        assert len(knn_edges(positions, 2)) < len(knn_edges(positions, 6))
+
+    def test_knn_invalid_k(self):
+        with pytest.raises(SelectionError):
+            knn_edges(np.array([[0, 0], [1, 1]]), 0)
+
+
+class TestFullNetwork:
+    def test_every_junction_its_own_region(self, organic_domain, full_net):
+        assert full_net.region_count == organic_domain.junction_count
+        for junction in organic_domain.junctions:
+            region = full_net.region_of(junction)
+            assert full_net.region_junctions(region) == {junction}
+
+    def test_every_sensing_edge_is_wall(self, organic_domain, full_net):
+        assert len(full_net.walls) == organic_domain.sensing_edge_count
+
+    def test_size_fraction_is_one(self, full_net):
+        assert full_net.size_fraction == pytest.approx(1.0)
+
+    def test_ext_region_isolated(self, full_net):
+        assert full_net.region_junctions(full_net.ext_region) == set()
+
+
+class TestSampledNetwork:
+    def test_needs_two_sensors(self, organic_domain):
+        with pytest.raises(SelectionError):
+            sampled_network(organic_domain, [0])
+
+    def test_infinity_node_rejected(self, organic_domain):
+        outer = organic_domain.dual.outer_node
+        interior = organic_domain.dual.interior_nodes[:2]
+        with pytest.raises(SelectionError):
+            sampled_network(organic_domain, [outer, *interior])
+
+    def test_unknown_connectivity(self, organic_domain):
+        blocks = organic_domain.dual.interior_nodes[:5]
+        with pytest.raises(SelectionError):
+            sampled_network(organic_domain, blocks, connectivity="magic")
+
+    def test_regions_partition_junctions(self, organic_domain, sampled_net):
+        seen = set()
+        for region in sampled_net.region_ids:
+            junctions = sampled_net.region_junctions(region)
+            assert not (seen & junctions)
+            seen |= junctions
+        seen |= sampled_net.region_junctions(sampled_net.ext_region)
+        assert seen == set(organic_domain.junctions)
+
+    def test_walls_are_road_edges(self, organic_domain, sampled_net):
+        road_edges = {
+            canonical_edge(u, v) for u, v in organic_domain.graph.edges()
+        }
+        assert set(sampled_net.walls) <= road_edges
+
+    def test_wall_owners_are_sensors(self, sampled_net):
+        for owners in sampled_net.wall_owners.values():
+            assert owners <= set(sampled_net.sensors)
+
+    def test_knn_has_more_regions_than_triangulation(self, organic_domain):
+        from repro.selection import SensorCandidates, QuadTreeSelector
+
+        candidates = SensorCandidates.from_domain(organic_domain)
+        chosen = QuadTreeSelector().select(
+            candidates, 16, np.random.default_rng(3)
+        )
+        tri = sampled_network(organic_domain, chosen,
+                              connectivity="triangulation")
+        knn = sampled_network(organic_domain, chosen, connectivity="knn", k=6)
+        assert knn.region_count >= tri.region_count
+
+    def test_fewer_sensors_fewer_regions(self, organic_domain):
+        from repro.selection import SensorCandidates, UniformSelector
+
+        candidates = SensorCandidates.from_domain(organic_domain)
+        rng = np.random.default_rng(5)
+        small = sampled_network(
+            organic_domain, UniformSelector().select(candidates, 6, rng)
+        )
+        rng = np.random.default_rng(5)
+        large = sampled_network(
+            organic_domain, UniformSelector().select(candidates, 40, rng)
+        )
+        assert small.region_count <= large.region_count
+
+
+class TestRegionApproximation:
+    def test_lower_regions_subset_of_query(self, organic_domain, sampled_net):
+        box = BBox(2, 2, 8, 8)
+        junctions = organic_domain.junctions_in_bbox(box)
+        for region in sampled_net.lower_regions(junctions):
+            assert sampled_net.region_junctions(region) <= junctions
+
+    def test_upper_regions_cover_query(self, organic_domain, sampled_net):
+        box = BBox(3, 3, 7, 7)
+        junctions = organic_domain.junctions_in_bbox(box)
+        regions, covered = sampled_net.upper_regions(junctions)
+        if covered:
+            union = set()
+            for region in regions:
+                union |= sampled_net.region_junctions(region)
+            assert junctions <= union
+
+    def test_upper_not_covered_near_rim(self, organic_domain, sampled_net):
+        # A region hugging the domain rim touches the EXT region.
+        box = BBox(0, 0, 1.0, 1.0)
+        junctions = organic_domain.junctions_in_bbox(box)
+        if junctions:
+            _, covered = sampled_net.upper_regions(junctions)
+            assert not covered
+
+    def test_boundary_rejects_ext_region(self, sampled_net):
+        with pytest.raises(QueryError):
+            sampled_net.region_boundary([sampled_net.ext_region])
+
+    def test_boundary_interior_walls_cancel(self, sampled_net):
+        regions = sampled_net.region_ids[:2]
+        boundary = sampled_net.region_boundary(regions)
+        for u, v in boundary:
+            tail_region = sampled_net.region_of(u) if u != EXT else sampled_net.ext_region
+            head_region = sampled_net.region_of(v)
+            assert head_region in regions
+            assert tail_region not in regions
+
+
+class TestCountingExactness:
+    """The sampled network's counts are exact on its own regions."""
+
+    def test_static_counts_exact_on_regions(
+        self, organic_domain, workload, sampled_net, sampled_form
+    ):
+        rng = np.random.default_rng(0)
+        regions = list(sampled_net.region_ids)
+        for _ in range(10):
+            chosen = {regions[i] for i in
+                      rng.integers(0, len(regions), size=3)}
+            junctions = set()
+            for region in chosen:
+                junctions |= sampled_net.region_junctions(region)
+            boundary = sampled_net.region_boundary(chosen)
+            for t in rng.uniform(0, workload.horizon, 3):
+                estimate = sampled_form.integrate_until(boundary, t)
+                truth = occupancy_count(workload.trips, junctions, t)
+                assert estimate == truth
+
+    def test_observed_events_subset(self, sampled_net, events):
+        observed = sampled_net.observed_events(events)
+        assert len(observed) < len(events)
+        walls = sampled_net.walls
+        for event in observed:
+            assert canonical_edge(event.tail, event.head) in walls
+
+    def test_sensors_for_boundary_nonempty(self, sampled_net):
+        region = sampled_net.region_ids[0]
+        boundary = sampled_net.region_boundary([region])
+        sensors = sampled_net.sensors_for_boundary(boundary)
+        assert sensors
+        assert sensors <= set(sampled_net.sensors)
+
+
+class TestWallNetwork:
+    def test_explicit_walls(self, grid_domain):
+        region = grid_domain.junctions_in_bbox(BBox(3, 3, 7, 7))
+        walls = [
+            canonical_edge(u, v)
+            for u, v in grid_domain.inward_boundary_edges(region)
+        ]
+        network = wall_network(grid_domain, walls, sensors=[0, 1])
+        inner = [
+            r
+            for r in network.region_ids
+            if network.region_junctions(r) == region
+        ]
+        assert len(inner) == 1

@@ -1,0 +1,192 @@
+"""Unit tests for trips, crossing events and workload generation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.forms import TrackingForm
+from repro.mobility import EXT
+from repro.trajectories import (
+    Trip,
+    WorkloadConfig,
+    all_events,
+    distinct_visitors,
+    generate_workload,
+    ingest,
+    net_change,
+    occupancy_count,
+    plan_trip,
+    trip_events,
+)
+
+
+class TestTrip:
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trip(object_id=0, visits=())
+
+    def test_decreasing_times_rejected(self):
+        with pytest.raises(WorkloadError):
+            Trip(object_id=0, visits=(("a", 5.0), ("b", 1.0)))
+
+    def test_position_before_start_is_ext(self):
+        trip = Trip(0, (("a", 10.0), ("b", 20.0)))
+        assert trip.position_at(5.0) == EXT
+
+    def test_position_at_visits(self):
+        trip = Trip(0, (("a", 10.0), ("b", 20.0), ("c", 30.0)))
+        assert trip.position_at(10.0) == "a"
+        assert trip.position_at(19.9) == "a"
+        assert trip.position_at(20.0) == "b"
+        assert trip.position_at(29.9) == "b"
+
+    def test_position_from_end_is_ext(self):
+        trip = Trip(0, (("a", 10.0), ("b", 20.0)))
+        assert trip.position_at(20.0) == EXT
+        assert trip.position_at(99.0) == EXT
+
+    def test_properties(self):
+        trip = Trip(7, (("a", 1.0), ("b", 2.0)))
+        assert trip.origin == "a"
+        assert trip.destination == "b"
+        assert trip.start_time == 1.0
+        assert trip.end_time == 2.0
+
+
+class TestPlanTrip:
+    def test_route_follows_shortest_path(self, grid_domain):
+        origin = grid_domain.nearest_junction((0, 0))
+        destination = grid_domain.nearest_junction((10, 0))
+        trip = plan_trip(grid_domain, 0, origin, destination,
+                         depart_time=0.0, speed=1.0)
+        assert trip.origin == origin
+        assert trip.destination == destination
+        assert trip.end_time == pytest.approx(10.0)
+
+    def test_dwell_extends_end_time(self, grid_domain):
+        origin = grid_domain.nearest_junction((0, 0))
+        destination = grid_domain.nearest_junction((10, 0))
+        trip = plan_trip(grid_domain, 0, origin, destination,
+                         depart_time=0.0, speed=1.0, dwell_time=100.0)
+        assert trip.end_time == pytest.approx(110.0)
+        assert trip.position_at(50.0) == destination
+
+    def test_zero_length_trip_observable(self, grid_domain):
+        node = grid_domain.nearest_junction((5, 5))
+        trip = plan_trip(grid_domain, 0, node, node, 0.0, 1.0)
+        assert trip.end_time > trip.start_time
+
+    def test_invalid_speed(self, grid_domain):
+        node = grid_domain.nearest_junction((5, 5))
+        with pytest.raises(WorkloadError):
+            plan_trip(grid_domain, 0, node, node, 0.0, 0.0)
+
+
+class TestTripEvents:
+    def test_entry_and_exit_walks_present(self, grid_domain):
+        center = grid_domain.nearest_junction((5, 5))
+        trip = plan_trip(grid_domain, 0, center, center, 100.0, 1.0,
+                         dwell_time=50.0)
+        events = trip_events(grid_domain, trip)
+        assert events[0].tail == EXT
+        assert events[-1].head == EXT
+        assert all(e.t == 100.0 for e in events if e.t <= 100.0)
+
+    def test_movement_events_timed_at_arrival(self, grid_domain):
+        origin = grid_domain.nearest_junction((0, 0))
+        destination = grid_domain.nearest_junction((10 / 6, 0))
+        trip = plan_trip(grid_domain, 0, origin, destination, 0.0, 1.0,
+                         dwell_time=10.0)
+        moves = [
+            e for e in trip_events(grid_domain, trip)
+            if EXT not in (e.tail, e.head)
+        ]
+        assert len(moves) == 1
+        assert moves[0].tail == origin
+        assert moves[0].head == destination
+        assert moves[0].t == pytest.approx(10 / 6)
+
+    def test_events_sorted_globally(self, organic_domain, workload):
+        events = all_events(organic_domain, workload.trips[:50])
+        times = [e.t for e in events]
+        assert times == sorted(times)
+
+    def test_ingest_counts(self, grid_domain):
+        center = grid_domain.nearest_junction((5, 5))
+        trip = plan_trip(grid_domain, 0, center, center, 0.0, 1.0, 10.0)
+        form = TrackingForm()
+        count = ingest(trip_events(grid_domain, trip), form)
+        assert count == form.total_events
+        assert count > 0
+
+
+class TestGroundTruth:
+    def test_occupancy_matches_positions(self, grid_domain):
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 10))
+        trip = plan_trip(grid_domain, 0, a, b, 0.0, 1.0, dwell_time=5.0)
+        region = {b}
+        assert occupancy_count([trip], region, trip.end_time - 1.0) == 1
+        assert occupancy_count([trip], region, trip.end_time + 1.0) == 0
+
+    def test_net_change(self, grid_domain):
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 10))
+        trip = plan_trip(grid_domain, 0, a, b, 0.0, 1.0, dwell_time=5.0)
+        assert net_change([trip], {b}, 0.0, trip.end_time - 1.0) == 1
+
+    def test_distinct_visitors_counts_transients(self, grid_domain):
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 0))
+        trip = plan_trip(grid_domain, 0, a, b, 0.0, 1.0, dwell_time=5.0)
+        middle = grid_domain.nearest_junction((5, 0))
+        # The trip passes through `middle` but never dwells there.
+        assert distinct_visitors([trip], {middle}, 0.0, 20.0) == 1
+        assert occupancy_count([trip], {middle}, 20.0) == 0
+
+
+class TestWorkloadGeneration:
+    def test_config_validation(self):
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(n_trips=0)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(hotspot_bias=1.5)
+        with pytest.raises(WorkloadError):
+            WorkloadConfig(horizon_days=0)
+
+    def test_reproducible(self, organic_domain):
+        config = WorkloadConfig(n_trips=40, seed=9)
+        w1 = generate_workload(organic_domain, config)
+        w2 = generate_workload(organic_domain, config)
+        assert [t.visits for t in w1.trips] == [t.visits for t in w2.trips]
+
+    def test_trip_count(self, workload):
+        assert len(workload.trips) == 400
+
+    def test_departures_within_horizon(self, workload):
+        horizon = workload.horizon
+        assert all(0 <= t.start_time < horizon for t in workload.trips)
+
+    def test_trips_sorted_by_departure(self, workload):
+        starts = [t.start_time for t in workload.trips]
+        assert starts == sorted(starts)
+
+    def test_hotspot_bias_concentrates_origins(self, organic_domain):
+        biased = generate_workload(
+            organic_domain,
+            WorkloadConfig(n_trips=300, hotspot_bias=1.0,
+                           hotspot_spread=0.02, seed=3),
+        )
+        uniform = generate_workload(
+            organic_domain,
+            WorkloadConfig(n_trips=300, hotspot_bias=0.0, seed=3),
+        )
+        assert (
+            len({t.origin for t in biased.trips})
+            < len({t.origin for t in uniform.trips})
+        )
+
+    def test_events_cached(self, organic_domain, workload):
+        first = workload.events(organic_domain)
+        second = workload.events(organic_domain)
+        assert first is second
