@@ -57,7 +57,7 @@ def bench_ablation_selectors(benchmark):
             candidates, m, np.random.default_rng(1)
         )
         network = sampled_network(p.domain, chosen, name=f"sys-{pick}")
-        p._forms[(id(network), network.name)] = network.build_form(p.events)
+        p.cache_form(network, network.build_form(p.event_columns))
         report = evaluate(p, p.engine(network).execute, queries)
         rows.append([pick, report.error.median, report.miss_rate])
     pick_table = format_table(("pick rule", "rel.err", "miss"), rows)

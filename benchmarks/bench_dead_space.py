@@ -54,10 +54,7 @@ def bench_dead_space_decompositions(benchmark):
         rows_for_size.append(("kd decomposition", kd_net))
 
         for label, network in rows_for_size:
-            form = p._forms.get((id(network), network.name))
-            if form is None:
-                form = network.build_form(p.events)
-                p._forms[(id(network), network.name)] = form
+            form = p.form(network)
             engine = p.engine(network, store=form)
             report = evaluate(p, engine.execute, queries, label=label)
             rows.append(

@@ -1,0 +1,233 @@
+"""Ingestion throughput: per-event loop vs columnar vectorised build.
+
+The tentpole claim of the columnar event store: materialising the
+event stream once as :class:`repro.trajectories.EventColumns` and
+building every network's form through the vectorised wall filter +
+CSR compilation (``SensorNetwork.build_form``) beats the per-event
+Python loop (``build_form_loop``) by a wide margin — the acceptance
+bar is a >= 5x ``build_form`` speedup on the DEFAULT_CONFIG stream.
+
+Runs two ways:
+
+- under pytest-benchmark with the other figure benches
+  (``pytest benchmarks/bench_ingest_throughput.py``);
+- standalone (``python benchmarks/bench_ingest_throughput.py``),
+  which measures the requested scale, prints a table and can update
+  the committed ``benchmarks/BENCH_ingest.json`` artifact
+  (``--write``).  ``--smoke`` runs the small scale and exits non-zero
+  if columnar ingestion throughput regressed more than 2x against the
+  committed artifact — the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # standalone invocation without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.evaluation import DEFAULT_CONFIG, SMALL_CONFIG
+from repro.evaluation.harness import PipelineConfig
+from repro.mobility import MobilityDomain, organic_city
+from repro.sampling import full_network, sampled_network
+from repro.selection import QuadTreeSelector, SensorCandidates
+from repro.trajectories import EventColumns, WorkloadConfig, generate_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_ingest.json"
+
+#: Sampled-network size fraction measured alongside the full network.
+SAMPLED_FRACTION = 0.256
+
+#: Smoke gate: fail if columnar events/sec drops below committed / 2.
+REGRESSION_FACTOR = 2.0
+
+SCALES = {"smoke": SMALL_CONFIG, "default": DEFAULT_CONFIG}
+
+
+def _best(fn, repeats: int) -> float:
+    """Best-of-N wall time of ``fn()`` (minimum is the robust stat)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def build_scene(config: PipelineConfig):
+    """Domain + event stream + the two measured networks.
+
+    Built directly (not via :func:`get_pipeline`) so the standalone
+    run pays only for what the benchmark measures — no query history,
+    no exact-engine warm-up.
+    """
+    rng = np.random.default_rng(config.road_seed)
+    road = organic_city(blocks=config.blocks, rng=rng)
+    domain = MobilityDomain(road)
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(
+            n_trips=config.n_trips,
+            horizon_days=config.horizon_days,
+            mean_dwell=config.mean_dwell,
+            seed=config.trip_seed,
+        ),
+    )
+    events = workload.events(domain)
+
+    candidates = SensorCandidates.from_domain(domain)
+    m = max(int(round(SAMPLED_FRACTION * domain.block_count)), 2)
+    chosen = QuadTreeSelector().select(
+        candidates, min(m, len(candidates)), np.random.default_rng(1)
+    )
+    networks = [
+        ("full", full_network(domain)),
+        ("quadtree", sampled_network(domain, chosen, name=f"quadtree-m{m}")),
+    ]
+    return domain, events, networks
+
+
+def measure(scale: str, repeats: int) -> dict:
+    """Loop vs columnar ``build_form`` timings for one scale."""
+    config = SCALES[scale]
+    domain, events, networks = build_scene(config)
+
+    columnarize_s = _best(
+        lambda: EventColumns.from_events(domain, events), repeats
+    )
+    columns = EventColumns.from_events(domain, events)
+
+    entry = {
+        "scale": scale,
+        "blocks": config.blocks,
+        "n_trips": config.n_trips,
+        "n_events": len(events),
+        "columnarize_s": columnarize_s,
+        "networks": {},
+    }
+    for name, network in networks:
+        loop_s = _best(lambda: network.build_form_loop(events), repeats)
+        columnar_s = _best(lambda: network.build_form(columns), repeats)
+        entry["networks"][name] = {
+            "loop_s": loop_s,
+            "columnar_s": columnar_s,
+            "speedup": loop_s / columnar_s,
+            "columnar_events_per_s": len(events) / columnar_s,
+            "loop_events_per_s": len(events) / loop_s,
+        }
+    return entry
+
+
+def format_entry(entry: dict) -> str:
+    lines = [
+        f"scale={entry['scale']}  blocks={entry['blocks']}  "
+        f"trips={entry['n_trips']}  events={entry['n_events']}",
+        f"columnarize (once, shared by all networks): "
+        f"{entry['columnarize_s'] * 1e3:.1f} ms",
+        f"{'network':<10} {'loop':>10} {'columnar':>10} {'speedup':>8} "
+        f"{'events/s':>12}",
+    ]
+    for name, n in entry["networks"].items():
+        lines.append(
+            f"{name:<10} {n['loop_s'] * 1e3:>8.1f}ms "
+            f"{n['columnar_s'] * 1e3:>8.1f}ms {n['speedup']:>7.1f}x "
+            f"{n['columnar_events_per_s']:>12.0f}"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {"schema": 1, "entries": {}}
+
+
+def check_regression(entry: dict, baseline: dict) -> int:
+    """CI gate: columnar throughput within 2x of the committed run."""
+    committed = baseline.get("entries", {}).get(entry["scale"])
+    if committed is None:
+        print(
+            f"no committed baseline for scale {entry['scale']!r}; "
+            "run with --write first",
+            file=sys.stderr,
+        )
+        return 1
+    status = 0
+    for name, measured in entry["networks"].items():
+        reference = committed["networks"][name]["columnar_events_per_s"]
+        floor = reference / REGRESSION_FACTOR
+        got = measured["columnar_events_per_s"]
+        verdict = "ok" if got >= floor else "REGRESSION"
+        print(
+            f"{name}: columnar {got:,.0f} events/s "
+            f"(committed {reference:,.0f}, floor {floor:,.0f}) {verdict}"
+        )
+        if got < floor:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="pipeline scale to measure (default: default)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="measure the smoke scale and fail on a >2x throughput "
+        "regression against the committed BENCH_ingest.json",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="update the measured scale's entry in BENCH_ingest.json",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else args.scale
+    entry = measure(scale, args.repeats)
+    print(format_entry(entry))
+
+    status = 0
+    if args.smoke and not args.write:
+        status = check_regression(entry, load_baseline())
+    if args.write:
+        baseline = load_baseline()
+        baseline["entries"][scale] = entry
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return status
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (shares the cached default pipeline)
+# ----------------------------------------------------------------------
+def bench_ingest_throughput(benchmark):
+    from _common import emit, pipeline
+
+    p = pipeline()
+    loop_s = _best(lambda: p.full.build_form_loop(p.events), 2)
+    columnar_s = _best(lambda: p.full.build_form(p.event_columns), 3)
+    emit(
+        "ingest_throughput",
+        "Ingestion throughput: per-event loop vs columnar build_form",
+        f"events={len(p.events)}  loop={loop_s * 1e3:.1f}ms  "
+        f"columnar={columnar_s * 1e3:.1f}ms  "
+        f"speedup={loop_s / columnar_s:.1f}x",
+    )
+    benchmark.pedantic(
+        lambda: p.full.build_form(p.event_columns), rounds=3, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -43,11 +43,11 @@ def bench_related_work_sketches(benchmark):
     # Framework reference restricted to the same trip subset.
     from repro.query import QueryEngine
     from repro.sampling import full_network
-    from repro.trajectories import all_events
+    from repro.trajectories import EventColumns, all_events
 
     events = all_events(p.domain, trips)
     full = full_network(p.domain)
-    form = full.build_form(events)
+    form = full.build_form(EventColumns.from_events(p.domain, events))
     engine = QueryEngine(full, form)
 
     rows = []

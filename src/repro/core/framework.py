@@ -44,7 +44,7 @@ from ..selection import (
     SystematicSelector,
     UniformSelector,
 )
-from ..trajectories import CrossingEvent, Trip, all_events
+from ..trajectories import CrossingEvent, EventColumns, Trip, all_events
 from .config import FrameworkConfig
 
 _MODEL_FACTORIES = {
@@ -153,10 +153,11 @@ class InNetworkFramework:
         return len(events)
 
     def _rebuild_stores(self) -> None:
-        self._full_form = self._full.build_form(self._events)
+        columns = EventColumns.from_events(self.domain, self._events)
+        self._full_form = self._full.build_form(columns)
         if self.network is None:
             return
-        self._form = self.network.build_form(self._events)
+        self._form = self.network.build_form(columns)
         if self.config is not None and self.config.store != "exact":
             factory = _MODEL_FACTORIES[self.config.store]
             self._store = ModeledCountStore.fit(self._form, factory)

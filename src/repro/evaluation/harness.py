@@ -42,7 +42,12 @@ from ..selection import (
     SystematicSelector,
     UniformSelector,
 )
-from ..trajectories import Workload, WorkloadConfig, generate_workload
+from ..trajectories import (
+    EventColumns,
+    Workload,
+    WorkloadConfig,
+    generate_workload,
+)
 from .metrics import Summary, ratio, relative_error
 from .workloads import QueryWorkloadConfig, generate_queries, queries_to_regions
 
@@ -130,10 +135,15 @@ class Pipeline:
             ),
         )
         self.events = self.workload.events(self.domain)
+        #: Columnar view of the event stream, materialised once; every
+        #: network ingestion is a vectorised filter over these arrays.
+        self.event_columns = EventColumns.from_events(
+            self.domain, self.events
+        )
         self.horizon = self.workload.horizon
 
         self.full = full_network(self.domain)
-        self.full_form = self.full.build_form(self.events)
+        self.full_form = self.full.build_form(self.event_columns)
         #: The paper's reference: exact counts on the unsampled graph,
         #: flooding every sensor in the region (Fig. 11c behaviour).
         self.exact_engine = QueryEngine(
@@ -228,14 +238,35 @@ class Pipeline:
         self._networks[key] = network
         return network
 
-    def form(self, network: SensorNetwork) -> TrackingForm:
-        """Ingest the event stream into a network's tracking form."""
-        key = (id(network), network.name)
+    @staticmethod
+    def form_key(network: SensorNetwork) -> Tuple:
+        """Cache key for a network's ingested form.
+
+        Keyed on the construction tuple (name, sensors, walls) rather
+        than ``id(network)``: CPython reuses object ids after garbage
+        collection, so an id-keyed cache can alias two distinct
+        networks that happen to land on the same address.  The walls
+        frozenset hash is cached by CPython, so repeated lookups stay
+        cheap.
+        """
+        return (network.name, network.sensors, network.walls)
+
+    def form(self, network: SensorNetwork):
+        """Ingest the event stream into a network's tracking form.
+
+        Served from the shared form cache (also used by the batched
+        evaluation path) and built through the columnar fast path.
+        """
+        key = self.form_key(network)
         form = self._forms.get(key)
         if form is None:
-            form = network.build_form(self.events)
+            form = network.build_form(self.event_columns)
             self._forms[key] = form
         return form
+
+    def cache_form(self, network: SensorNetwork, form) -> None:
+        """Pre-seed the form cache (ad-hoc networks in benchmarks)."""
+        self._forms[self.form_key(network)] = form
 
     def engine(
         self,
@@ -343,14 +374,34 @@ def evaluate(
     execute: Callable[[RangeQuery], QueryResult],
     queries: Sequence[RangeQuery],
     label: str = "",
+    execute_batch: Optional[
+        Callable[[Sequence[RangeQuery]], Sequence[QueryResult]]
+    ] = None,
 ) -> EvalReport:
     """Run a query batch and compare against the unsampled reference.
 
     ``execute`` is any callable mapping a query to a
     :class:`QueryResult` (a :class:`QueryEngine`'s ``execute`` or a
-    baseline's).  Relative errors are computed over non-missed queries
-    with a non-zero reference count, as in §5.1.4.
+    baseline's).  When ``execute`` is a bound ``QueryEngine.execute``
+    (or ``execute_batch`` is passed explicitly) the whole battery runs
+    through the engine's batched path, which amortises region lookup
+    and boundary construction across the battery.  Relative errors are
+    computed over non-missed queries with a non-zero reference count,
+    as in §5.1.4.
     """
+    if execute_batch is None:
+        owner = getattr(execute, "__self__", None)
+        if (
+            isinstance(owner, QueryEngine)
+            and getattr(execute, "__func__", None)
+            is QueryEngine.execute
+        ):
+            execute_batch = owner.execute_batch
+    if execute_batch is not None:
+        results = list(execute_batch(queries))
+    else:
+        results = [execute(query) for query in queries]
+
     errors: List[float] = []
     ratios: List[float] = []
     nodes: List[float] = []
@@ -359,11 +410,10 @@ def evaluate(
     exact_elapsed: List[float] = []
     exact_nodes: List[float] = []
     misses = 0
-    for query in queries:
+    for query, result in zip(queries, results):
         reference = pipeline.exact(query)
         exact_elapsed.append(reference.elapsed)
         exact_nodes.append(reference.nodes_accessed)
-        result = execute(query)
         if result.missed:
             misses += 1
             continue

@@ -13,12 +13,14 @@ from .calculus import (
     integrate_potential,
     is_exact,
 )
+from .compiled import CompiledTrackingForm
 from .countfn import DirectedEdge, EdgeCountStore, static_count, transient_count
 from .privacy import LaplaceNoisyStore
 from .snapshot import DifferentialForm, SnapshotForm
 from .tracking import TrackingForm
 
 __all__ = [
+    "CompiledTrackingForm",
     "DifferentialForm",
     "DirectedEdge",
     "EdgeCountStore",

@@ -73,6 +73,16 @@ class TrackingForm:
     _series: Dict[DirectedEdge, Tuple[_EventSeries, _EventSeries]] = field(
         default_factory=dict
     )
+    #: Bumped by every :meth:`record`; stamps the aggregate caches so
+    #: ``total_events``/``storage_profile`` don't rescan a store that
+    #: has not changed (Fig. 11e rebuilds the CDF repeatedly).
+    _generation: int = field(default=0, repr=False, compare=False)
+    _total_events_cache: Tuple[int, int] = field(
+        default=(-1, 0), repr=False, compare=False
+    )
+    _storage_profile_cache: Tuple[int, Tuple[int, ...]] = field(
+        default=(-1, ()), repr=False, compare=False
+    )
 
     # ------------------------------------------------------------------
     # Updates
@@ -85,6 +95,7 @@ class TrackingForm:
             pair = (_EventSeries(), _EventSeries())
             self._series[key] = pair
         pair[0 if forward else 1].append(float(t))
+        self._generation += 1
 
     # ------------------------------------------------------------------
     # Count function C(γ(e), t) and its range form (§4.7.3-4.7.4)
@@ -159,7 +170,13 @@ class TrackingForm:
 
     @property
     def total_events(self) -> int:
-        return sum(len(p[0]) + len(p[1]) for p in self._series.values())
+        generation, cached = self._total_events_cache
+        if generation != self._generation:
+            cached = sum(
+                len(p[0]) + len(p[1]) for p in self._series.values()
+            )
+            self._total_events_cache = (self._generation, cached)
+        return cached
 
     @property
     def edge_count(self) -> int:
@@ -167,6 +184,13 @@ class TrackingForm:
 
     def storage_profile(self) -> List[int]:
         """Per-edge stored timestamp counts (the Fig. 11e CDF input)."""
-        return sorted(
-            len(pair[0]) + len(pair[1]) for pair in self._series.values()
-        )
+        generation, cached = self._storage_profile_cache
+        if generation != self._generation:
+            cached = tuple(
+                sorted(
+                    len(pair[0]) + len(pair[1])
+                    for pair in self._series.values()
+                )
+            )
+            self._storage_profile_cache = (self._generation, cached)
+        return list(cached)

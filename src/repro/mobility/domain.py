@@ -29,6 +29,7 @@ from ..errors import GraphStructureError, QueryError
 from ..geometry import BBox, Point
 from ..planar import (
     DualGraph,
+    EdgeInterner,
     FaceSet,
     NodeId,
     PlanarGraph,
@@ -67,6 +68,7 @@ class MobilityDomain:
 
         self.boundary_junctions: List[NodeId] = self._outer_cycle_nodes()
         self._entry_predecessor = self._boundary_tree()
+        self._edge_interner: Optional[EdgeInterner] = None
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -125,6 +127,21 @@ class MobilityDomain:
         yield from self.graph.edges()
         for b in self.boundary_junctions:
             yield (EXT, b)
+
+    @property
+    def edge_interner(self) -> EdgeInterner:
+        """Interned canonical-edge → dense-id table over sensing edges.
+
+        Built lazily, pre-seeded with every sensing edge (roads + EXT
+        geofence) in deterministic iteration order, and shared by the
+        columnar event store (:class:`repro.trajectories.EventColumns`)
+        and compiled tracking forms so all of them agree on edge ids.
+        Unknown edges intern on demand, so synthetic streams over
+        non-sensing edges still columnarise.
+        """
+        if self._edge_interner is None:
+            self._edge_interner = EdgeInterner(self.sensing_edges())
+        return self._edge_interner
 
     def inward_boundary_edges(
         self, region: Set[NodeId]

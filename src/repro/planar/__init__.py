@@ -9,13 +9,14 @@ planarization of drawn graphs.
 from .chains import Chain, face_boundary, region_boundary, region_perimeter_nodes
 from .dual import DualGraph, build_dual
 from .faces import Face, FaceSet, euler_characteristic, trace_faces
-from .graph import Edge, NodeId, PlanarGraph, canonical_edge
+from .graph import Edge, EdgeInterner, NodeId, PlanarGraph, canonical_edge
 from .planarize import largest_component, planarize, prune_degree_one
 
 __all__ = [
     "Chain",
     "DualGraph",
     "Edge",
+    "EdgeInterner",
     "Face",
     "FaceSet",
     "NodeId",

@@ -33,6 +33,75 @@ def canonical_edge(u: NodeId, v: NodeId) -> Edge:
     return (u, v) if ku <= kv else (v, u)
 
 
+class EdgeInterner:
+    """Bidirectional canonical-edge ↔ dense-integer-id table.
+
+    The columnar event store and the compiled tracking forms address
+    edges by a dense ``int32`` id instead of hashing ``(NodeId, NodeId)``
+    tuples on every access.  Ids are assigned in interning order, so a
+    table pre-seeded from :meth:`MobilityDomain.sensing_edges` is stable
+    across runs of the same domain.
+
+    ``intern`` also memoises the *directed* lookup ``(u, v) -> (id,
+    forward)`` so the per-event canonicalisation cost (type-name/repr
+    comparison) is paid once per distinct directed edge, not per event.
+    """
+
+    __slots__ = ("_ids", "_edges", "_directed")
+
+    def __init__(self, edges: Optional[Iterable[Edge]] = None) -> None:
+        self._ids: Dict[Edge, int] = {}
+        self._edges: List[Edge] = []
+        self._directed: Dict[Edge, Tuple[int, bool]] = {}
+        if edges is not None:
+            for u, v in edges:
+                self.intern(u, v)
+
+    def intern(self, u: NodeId, v: NodeId) -> Tuple[int, bool]:
+        """Id of edge ``{u, v}`` (assigning one if new) and whether the
+        directed edge ``(u, v)`` matches the canonical orientation."""
+        cached = self._directed.get((u, v))
+        if cached is not None:
+            return cached
+        key = canonical_edge(u, v)
+        edge_id = self._ids.get(key)
+        if edge_id is None:
+            edge_id = len(self._edges)
+            self._ids[key] = edge_id
+            self._edges.append(key)
+        result = (edge_id, key == (u, v))
+        self._directed[(u, v)] = result
+        return result
+
+    def id_of(self, u: NodeId, v: NodeId) -> Tuple[int, bool]:
+        """Like :meth:`intern` but returns ``(-1, forward)`` for unknown
+        edges instead of assigning a new id."""
+        cached = self._directed.get((u, v))
+        if cached is not None:
+            return cached
+        key = canonical_edge(u, v)
+        edge_id = self._ids.get(key)
+        if edge_id is None:
+            return (-1, key == (u, v))
+        result = (edge_id, key == (u, v))
+        self._directed[(u, v)] = result
+        return result
+
+    def id_of_canonical(self, key: Edge) -> int:
+        """Id of an already-canonical edge, ``-1`` if unknown."""
+        return self._ids.get(key, -1)
+
+    def edge(self, edge_id: int) -> Edge:
+        """The canonical edge stored under ``edge_id``."""
+        return self._edges[edge_id]
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, key: Edge) -> bool:
+        return key in self._ids
+
+
 class PlanarGraph:
     """An undirected graph with a straight-line planar embedding.
 

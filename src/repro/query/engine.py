@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Optional, Sequence, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..errors import QueryError
 from ..forms import EdgeCountStore
@@ -97,6 +97,78 @@ class QueryEngine:
     ) -> list[QueryResult]:
         return [self.execute(query) for query in queries]
 
+    def execute_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[QueryResult]:
+        """Execute a query battery, amortising the shared work.
+
+        The standard batteries reuse the same rectangles across kinds
+        and bounds, so rectangle → junction-set resolution, region
+        approximation, boundary-chain construction and sensor
+        accounting are each computed once per distinct (box, bound) and
+        shared across the batch.  Count stores exposing batched
+        integration (:class:`~repro.forms.CompiledTrackingForm`)
+        additionally amortise the boundary's merged timestamp series
+        across every timestamp evaluated against it.  Results are
+        identical to :meth:`execute_many`.
+        """
+        junctions_by_box: Dict[object, Set[NodeId]] = {}
+        # (box, bound) -> region tuple or None for a guaranteed miss.
+        regions_cache: Dict[Tuple[object, str], Optional[Tuple[int, ...]]] = {}
+        boundary_cache: Dict[Tuple[int, ...], list] = {}
+        sensors_cache: Dict[Tuple[int, ...], int] = {}
+        results: List[QueryResult] = []
+        for query in queries:
+            start = time.perf_counter()
+            box = query.box
+            junctions = junctions_by_box.get(box)
+            if junctions is None:
+                junctions = self.domain.junctions_in_bbox(box)
+                junctions_by_box[box] = junctions
+            if not junctions:
+                results.append(self._miss(query, start))
+                continue
+
+            region_key = (box, query.bound)
+            if region_key in regions_cache:
+                regions = regions_cache[region_key]
+            else:
+                if query.bound == LOWER:
+                    resolved = self.network.lower_regions(junctions)
+                else:
+                    resolved, covered = self.network.upper_regions(junctions)
+                    if not covered:
+                        resolved = []
+                regions = tuple(resolved) if resolved else None
+                regions_cache[region_key] = regions
+            if regions is None:
+                results.append(self._miss(query, start))
+                continue
+
+            chain_key = tuple(sorted(regions))
+            boundary = boundary_cache.get(chain_key)
+            if boundary is None:
+                boundary = self.network.region_boundary(regions)
+                boundary_cache[chain_key] = boundary
+            value = self._integrate(boundary, query)
+            n_sensors = sensors_cache.get(chain_key)
+            if n_sensors is None:
+                n_sensors = len(self._sensors_accessed(regions, boundary))
+                sensors_cache[chain_key] = n_sensors
+            results.append(
+                QueryResult(
+                    query=query,
+                    value=value,
+                    missed=False,
+                    regions=regions,
+                    edges_accessed=len(boundary),
+                    nodes_accessed=n_sensors,
+                    hops=len(boundary),
+                    elapsed=time.perf_counter() - start,
+                )
+            )
+        return results
+
     # ------------------------------------------------------------------
     def resolve_junctions(self, query: RangeQuery) -> Set[NodeId]:
         """The junction set the rectangle resolves to (for evaluation)."""
@@ -113,17 +185,22 @@ class QueryEngine:
     def _integrate(self, boundary, query: RangeQuery) -> float:
         store = self.store
         if query.kind == TRANSIENT:
+            batched = getattr(store, "integrate_between", None)
+            if batched is not None:
+                return batched(boundary, query.t1, query.t2)
             return sum(
                 store.net_between(edge, query.t1, query.t2)
                 for edge in boundary
             )
+        until = getattr(store, "integrate_until", None)
+        if until is None:
+            def until(edges, t):
+                return sum(store.net_until(edge, t) for edge in edges)
         if self.static_eval == "end":
-            return sum(store.net_until(edge, query.t2) for edge in boundary)
+            return until(boundary, query.t2)
         if self.static_eval == "start":
-            return sum(store.net_until(edge, query.t1) for edge in boundary)
-        n1 = sum(store.net_until(edge, query.t1) for edge in boundary)
-        n2 = sum(store.net_until(edge, query.t2) for edge in boundary)
-        return min(n1, n2)
+            return until(boundary, query.t1)
+        return min(until(boundary, query.t1), until(boundary, query.t2))
 
     def _sensors_accessed(self, regions, boundary) -> Set[int]:
         if self.access_mode == "flood":

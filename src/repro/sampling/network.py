@@ -21,11 +21,13 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tup
 
 import numpy as np
 
+from typing import Union
+
 from ..errors import QueryError, SelectionError
-from ..forms import TrackingForm
+from ..forms import CompiledTrackingForm, TrackingForm
 from ..mobility import EXT, MobilityDomain
 from ..planar import NodeId, canonical_edge
-from ..trajectories import CrossingEvent
+from ..trajectories import CrossingEvent, EventColumns
 from .connectivity import knn_edges, triangulation_edges
 
 Wall = Tuple[NodeId, NodeId]
@@ -160,8 +162,40 @@ class SensorNetwork:
     # ------------------------------------------------------------------
     # Ingestion
     # ------------------------------------------------------------------
-    def build_form(self, events: Iterable[CrossingEvent]) -> TrackingForm:
-        """Tracking form of all crossings this network's walls observe."""
+    def build_form(
+        self, events: Union[EventColumns, Iterable[CrossingEvent]]
+    ):
+        """Tracking form of all crossings this network's walls observe.
+
+        Columnar input (:class:`~repro.trajectories.EventColumns`) takes
+        the vectorised path: one boolean wall mask over the interned
+        edge-id column + fancy indexing, compiled straight into a
+        :class:`~repro.forms.CompiledTrackingForm` (CSR timestamp
+        arrays).  Row-wise event iterables keep the legacy per-event
+        loop and return a plain :class:`~repro.forms.TrackingForm`; the
+        two stores answer the count interface identically.
+        """
+        if isinstance(events, EventColumns):
+            return self.build_form_columnar(events)
+        return self.build_form_loop(events)
+
+    def build_form_columnar(
+        self, columns: EventColumns
+    ) -> CompiledTrackingForm:
+        """Vectorised ingestion of a columnar event stream."""
+        observed = columns.filter_edges(self._wall_lookup())
+        return CompiledTrackingForm(
+            columns.interner,
+            observed.edge_id,
+            observed.direction,
+            observed.t,
+        )
+
+    def build_form_loop(
+        self, events: Iterable[CrossingEvent]
+    ) -> TrackingForm:
+        """Reference per-event ingestion loop (kept for benchmarking the
+        columnar path against, and for ad-hoc row-wise streams)."""
         form = TrackingForm()
         walls = self.walls
         for event in events:
@@ -169,14 +203,36 @@ class SensorNetwork:
                 form.record(event.tail, event.head, event.t)
         return form
 
+    def _wall_lookup(self) -> np.ndarray:
+        """Boolean mask over interned edge ids flagging this network's
+        walls (cached; rebuilt if the domain's table grew)."""
+        interner = self.domain.edge_interner
+        lookup = getattr(self, "_wall_lookup_cache", None)
+        if lookup is None or len(lookup) < len(interner):
+            lookup = np.zeros(len(interner), dtype=bool)
+            ids = [interner.id_of_canonical(w) for w in self.walls]
+            ids = np.asarray(
+                [i for i in ids if i >= 0], dtype=np.int64
+            )
+            if len(ids):
+                lookup[ids] = True
+            self._wall_lookup_cache = lookup
+        return lookup
+
     def observed_events(
-        self, events: Iterable[CrossingEvent]
+        self, events: Union[EventColumns, Iterable[CrossingEvent]]
     ) -> List[CrossingEvent]:
         """The subset of an event stream that hits a wall."""
+        if isinstance(events, EventColumns):
+            return events.filter_edges(self._wall_lookup()).to_events()
         walls = self.walls
         return [
             e for e in events if canonical_edge(e.tail, e.head) in walls
         ]
+
+    def observed_columns(self, columns: EventColumns) -> EventColumns:
+        """Columnar subset of a columnar stream that hits a wall."""
+        return columns.filter_edges(self._wall_lookup())
 
     # ------------------------------------------------------------------
     # Accounting (communication-cost proxies, §4.9)

@@ -1,5 +1,6 @@
 """Moving-object workloads and crossing events (system S5)."""
 
+from .columns import EventColumns, columnarize
 from .events import (
     CrossingEvent,
     all_events,
@@ -21,10 +22,12 @@ from .workload import DAY, Workload, WorkloadConfig, generate_workload
 __all__ = [
     "CrossingEvent",
     "DAY",
+    "EventColumns",
     "Trip",
     "Workload",
     "WorkloadConfig",
     "all_events",
+    "columnarize",
     "distinct_visitors",
     "export_trips_as_gps",
     "generate_workload",

@@ -1,0 +1,150 @@
+"""Columnar crossing-event storage (the vectorised ingestion substrate).
+
+:class:`EventColumns` materialises a crossing-event stream *once* as
+three parallel numpy arrays — ``edge_id`` (``int32``, via the domain's
+interned canonical-edge table), ``direction`` (``int8``, 0 when the
+event follows the canonical edge orientation, 1 against it) and ``t``
+(``float64``) — kept sorted by time.
+
+Every network configuration then ingests by *vectorised filtering*
+(a boolean wall mask indexed by ``edge_id``) instead of re-walking the
+stream event-by-event through Python, which is what makes repeated
+``build_form`` calls across a benchmark sweep cheap.  Learned-index
+substrates (PGM-style piecewise models) get the contiguous sorted-array
+layout they assume for free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence
+
+import numpy as np
+
+from ..errors import WorkloadError
+from .events import CrossingEvent
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mobility import MobilityDomain
+    from ..planar import EdgeInterner
+
+
+@dataclass(frozen=True)
+class EventColumns:
+    """A time-sorted crossing-event stream in columnar (SoA) layout."""
+
+    #: Shared canonical-edge ↔ id table (normally the domain's).
+    interner: "EdgeInterner"
+    #: Dense interned edge id per event.
+    edge_id: np.ndarray
+    #: 0 = event follows the canonical edge orientation, 1 = against it.
+    direction: np.ndarray
+    #: Event timestamps, non-decreasing.
+    t: np.ndarray
+
+    def __post_init__(self) -> None:
+        if not (len(self.edge_id) == len(self.direction) == len(self.t)):
+            raise WorkloadError("event columns must have equal lengths")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_events(
+        cls,
+        domain: "MobilityDomain",
+        events: Sequence[CrossingEvent],
+    ) -> "EventColumns":
+        """Columnarise an event stream against a domain's edge table.
+
+        The per-event Python cost (attribute access + one dict hit per
+        event) is paid exactly once here; every later wall filter and
+        form build over the result is pure numpy.
+        """
+        interner = domain.edge_interner
+        if not isinstance(events, (list, tuple)):
+            events = list(events)
+        n = len(events)
+        edge_id = np.empty(n, dtype=np.int32)
+        direction = np.empty(n, dtype=np.int8)
+        t = np.empty(n, dtype=np.float64)
+        intern = interner.intern
+        for i, event in enumerate(events):
+            eid, forward = intern(event.tail, event.head)
+            edge_id[i] = eid
+            direction[i] = 0 if forward else 1
+            t[i] = event.t
+        columns = cls(
+            interner=interner, edge_id=edge_id, direction=direction, t=t
+        )
+        return columns.time_sorted()
+
+    def time_sorted(self) -> "EventColumns":
+        """Self if already time-sorted, else a stably sorted copy."""
+        t = self.t
+        if len(t) < 2 or not np.any(np.diff(t) < 0.0):
+            return self
+        order = np.argsort(t, kind="stable")
+        return EventColumns(
+            interner=self.interner,
+            edge_id=self.edge_id[order],
+            direction=self.direction[order],
+            t=t[order],
+        )
+
+    # ------------------------------------------------------------------
+    # Vectorised filtering
+    # ------------------------------------------------------------------
+    def select(self, indices: np.ndarray) -> "EventColumns":
+        """Fancy-indexed subset (preserves the shared interner)."""
+        return EventColumns(
+            interner=self.interner,
+            edge_id=self.edge_id[indices],
+            direction=self.direction[indices],
+            t=self.t[indices],
+        )
+
+    def filter_edges(self, edge_lookup: np.ndarray) -> "EventColumns":
+        """Events whose edge id is flagged in a boolean lookup table.
+
+        ``edge_lookup`` is indexed by edge id; ids beyond its length
+        (edges interned after the table was built) are treated as not
+        selected.
+        """
+        ids = self.edge_id
+        in_table = ids < len(edge_lookup)
+        mask = np.zeros(len(ids), dtype=bool)
+        mask[in_table] = edge_lookup[ids[in_table]]
+        return self.select(np.flatnonzero(mask))
+
+    # ------------------------------------------------------------------
+    # Introspection / interop
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.t)
+
+    @property
+    def n_events(self) -> int:
+        return len(self.t)
+
+    def __iter__(self) -> Iterator[CrossingEvent]:
+        """Iterate as :class:`CrossingEvent` (slow path; interop only)."""
+        edge = self.interner.edge
+        for eid, d, t in zip(self.edge_id, self.direction, self.t):
+            u, v = edge(int(eid))
+            if d:
+                u, v = v, u
+            yield CrossingEvent(u, v, float(t))
+
+    def to_events(self) -> List[CrossingEvent]:
+        """Materialise back into a row-wise event list."""
+        return list(self)
+
+
+def columnarize(
+    domain: "MobilityDomain", events: Iterable[CrossingEvent]
+) -> EventColumns:
+    """Convenience wrapper: ``EventColumns.from_events`` for iterables."""
+    if isinstance(events, EventColumns):
+        return events
+    return EventColumns.from_events(domain, list(events))

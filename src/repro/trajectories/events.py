@@ -110,9 +110,21 @@ def distinct_visitors(
         raise QueryError("regions cannot include EXT")
     count = 0
     for trip in trips:
-        if trip.end_time <= t1 or trip.start_time > t2:
+        # Pre-filter uses a strict ``<`` on the left endpoint: a trip
+        # with ``end_time == t1`` held its final junction up *to* t1
+        # and must still be considered (see below), matching the
+        # right-continuous ``(t1, t2]`` convention of
+        # ``TrackingForm.count_between``.
+        if trip.end_time < t1 or trip.start_time > t2:
             continue
         times = sorted({t1, t2, *(t for _, t in trip.visits if t1 <= t <= t2)})
         if any(trip.position_at(t) in region for t in times):
             count += 1
+        elif trip.end_time == t1 and trip.visits:
+            # ``position_at`` is right-continuous (EXT from end_time
+            # on), which blinds the sample at exactly t1 to a trip that
+            # occupied its final junction until that instant; it was
+            # inside the region at t1, so it is a visitor.
+            if trip.visits[-1][0] in region:
+                count += 1
     return count

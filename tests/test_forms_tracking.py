@@ -66,6 +66,75 @@ class TestTheorem42:
         assert static_count(figure_10_form, BOUNDARY, 3.0) == 2
 
 
+class TestOutOfOrderIngestion:
+    """The dirty-flag path of ``_EventSeries`` (lazy re-sort)."""
+
+    def test_out_of_order_appends_set_dirty_flag(self):
+        from repro.forms.tracking import _EventSeries
+
+        series = _EventSeries()
+        series.append(5.0)
+        assert not series._dirty
+        series.append(3.0)  # regression in time order
+        assert series._dirty
+
+    def test_out_of_order_counts_match_sorted(self):
+        from repro.forms.tracking import _EventSeries
+
+        times = [5.0, 3.0, 9.0, 3.0, 1.0, 7.0]
+        series = _EventSeries()
+        for t in times:
+            series.append(t)
+        expected = sorted(times)
+        assert series.timestamps() == expected
+        assert not series._dirty  # read triggered the one-shot sort
+        for probe in (0.0, 1.0, 3.0, 4.0, 9.0, 10.0):
+            assert series.count_until(probe) == sum(
+                1 for t in expected if t <= probe
+            )
+        assert series.count_between(1.0, 7.0) == 4
+
+    def test_form_level_shuffled_ingestion(self):
+        ordered = TrackingForm()
+        shuffled = TrackingForm()
+        events = [("a", "b", float(t)) for t in (1, 4, 2, 9, 9, 0)]
+        for u, v, t in sorted(events, key=lambda e: e[2]):
+            ordered.record(u, v, t)
+        for u, v, t in events:
+            shuffled.record(u, v, t)
+        for t in (0.0, 1.5, 4.0, 9.0, 12.0):
+            assert ordered.count_entering(("a", "b"), t) == shuffled.count_entering(
+                ("a", "b"), t
+            )
+
+
+class TestAggregateMemoisation:
+    """``total_events``/``storage_profile`` re-scan only after ``record``."""
+
+    def test_caches_invalidate_on_record(self):
+        form = TrackingForm()
+        form.record("a", "b", 1.0)
+        assert form.total_events == 1
+        assert form.storage_profile() == [1]
+        form.record("b", "a", 2.0)
+        form.record("c", "d", 3.0)
+        assert form.total_events == 3
+        assert form.storage_profile() == [1, 2]
+
+    def test_repeated_reads_use_cache(self):
+        form = TrackingForm()
+        for i in range(10):
+            form.record("a", "b", float(i))
+        generation = form._generation
+        first = form.total_events
+        profile = form.storage_profile()
+        assert form._total_events_cache == (generation, first)
+        assert form._storage_profile_cache[0] == generation
+        # Returned profile is a copy; mutating it must not poison the cache.
+        profile.append(999)
+        assert form.storage_profile() == [10]
+
+
 class TestTheorem43:
     """Transient count: paper's example nets 0 over [t1, t3]."""
 

@@ -144,6 +144,24 @@ class TestGroundTruth:
         assert distinct_visitors([trip], {middle}, 0.0, 20.0) == 1
         assert occupancy_count([trip], {middle}, 20.0) == 0
 
+    def test_distinct_visitors_trip_ending_exactly_at_t1(self, grid_domain):
+        """Regression: a trip with ``end_time == t1`` that occupied its
+        final junction (inside the region) up to t1 is a visitor —
+        interval inclusion is consistent with the right-continuous
+        ``(t1, t2]`` convention of ``TrackingForm.count_between``."""
+        a = grid_domain.nearest_junction((0, 0))
+        b = grid_domain.nearest_junction((10, 10))
+        trip = plan_trip(grid_domain, 0, a, b, 0.0, 1.0, dwell_time=5.0)
+        region = {b}
+        t1 = trip.end_time
+        # Previously the `end_time <= t1` pre-filter skipped this trip.
+        assert distinct_visitors([trip], region, t1, t1 + 100.0) == 1
+        # Strictly after the trip's lifetime it is not a visitor.
+        assert distinct_visitors([trip], region, t1 + 1.0, t1 + 100.0) == 0
+        # A region the trip never entered stays at zero.
+        outside = {grid_domain.nearest_junction((0, 10))}
+        assert distinct_visitors([trip], outside, t1, t1 + 100.0) == 0
+
 
 class TestWorkloadGeneration:
     def test_config_validation(self):
