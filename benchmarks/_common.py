@@ -14,14 +14,18 @@ the tables appear even under pytest's capture.
 from __future__ import annotations
 
 import dataclasses
+import json
+import math
+import subprocess
 import sys
 from pathlib import Path
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.evaluation import (
     DEFAULT_CONFIG,
     EvalReport,
     Pipeline,
+    PipelineConfig,
     evaluate,
     format_table,
     get_pipeline,
@@ -31,9 +35,14 @@ from repro.evaluation.harness import (
     STANDARD_AREA_FRACTIONS,
     STANDARD_SIZE_FRACTIONS,
 )
+from repro.obs import get_registry
 from repro.query import RangeQuery
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Schema version of the per-figure machine-readable records (shared
+#: with ``benchmarks/BENCH_ingest.json``).
+RESULT_SCHEMA = 1
 
 #: Selectors compared in the multi-method figures.
 METHODS = (
@@ -70,13 +79,63 @@ def dense_pipeline() -> Pipeline:
     return get_pipeline(DENSE_CONFIG)
 
 
-def emit(name: str, title: str, body: str) -> None:
-    """Print a result table to the real stdout and persist it."""
+def emit(
+    name: str,
+    title: str,
+    body: str,
+    series: Optional[dict] = None,
+    config: Optional[PipelineConfig] = None,
+) -> None:
+    """Print a result table to the real stdout and persist it.
+
+    Persists two artifacts under ``benchmarks/results/``: the plain
+    table (``{name}.txt``, unchanged) and one machine-readable JSON
+    record (``{name}.json``) carrying the pipeline config, any chart
+    series, a snapshot of the process-global metrics registry and the
+    git revision — so the perf trajectory is diffable across PRs.
+    """
     text = f"\n=== {title} ===\n{body}\n"
     sys.__stdout__.write(text)
     sys.__stdout__.flush()
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text)
+    record = {
+        "schema": RESULT_SCHEMA,
+        "figure": name,
+        "title": title,
+        "config": dataclasses.asdict(config or DEFAULT_CONFIG),
+        "series": _jsonable(series) if series else None,
+        "metrics": _jsonable(get_registry().snapshot()),
+        "git_rev": _git_rev(),
+    }
+    (RESULTS_DIR / f"{name}.json").write_text(
+        json.dumps(record, indent=2) + "\n"
+    )
+
+
+def _git_rev() -> Optional[str]:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=Path(__file__).resolve().parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=True,
+        ).stdout.strip()
+    except Exception:
+        return None
+
+
+def _jsonable(value):
+    """Recursively replace non-finite floats so the JSON stays strict."""
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    return value
 
 
 def sweep_methods_over_sizes(

@@ -31,6 +31,8 @@ def bench_fig11a_transient_error_vs_graph_size(benchmark):
         f"Fig 11a: transient lower-bound error vs graph size "
         f"(query area {FIXED_QUERY_AREA:.2%})",
         format_table(ERROR_HEADERS, rows),
+        series=series,
+        config=p.config,
     )
     emit_chart("fig11a", "Fig 11a: transient error vs graph size", series)
 

@@ -4,6 +4,11 @@ Paper shape: sampled graphs (shown at 6.4% and 51.2%) contact a
 near-constant / logarithmic number of communication sensors regardless
 of the query area, while the unsampled graph and the baseline flood
 every sensor in the region — node accesses linear in the query area.
+
+The per-configuration internals (resolved junctions |R|, boundary-chain
+length |dR|) are read from measured :class:`repro.obs.QueryProvenance`
+records attached by a provenance-enabled engine, not re-derived from
+the region geometry.
 """
 
 from __future__ import annotations
@@ -11,10 +16,59 @@ from __future__ import annotations
 from _common import N_QUERIES, emit, pipeline
 from repro.evaluation import evaluate, format_table
 from repro.evaluation.harness import STANDARD_AREA_FRACTIONS
+from repro.obs import Instrumentation, NULL_REGISTRY, NULL_TRACER
+from repro.query import QueryEngine
 
 SAMPLED_SIZES = (0.064, 0.512)
 
-HEADERS = ("query area", "configuration", "nodes accessed (mean)", "miss")
+HEADERS = (
+    "query area",
+    "configuration",
+    "nodes accessed (mean)",
+    "junctions |R|",
+    "boundary |dR|",
+    "miss",
+)
+
+#: Provenance-only bundle: no spans, no metrics — just the measured
+#: per-query internals attached to each result.
+PROVENANCE_ONLY = Instrumentation(
+    tracer=NULL_TRACER, metrics=NULL_REGISTRY, provenance=True
+)
+
+
+def _provenance_engine(
+    p, network, store=None, access_mode="perimeter"
+) -> QueryEngine:
+    """An engine over the pipeline's cached form, with provenance on."""
+    return QueryEngine(
+        network,
+        store if store is not None else p.form(network),
+        access_mode=access_mode,
+        instrumentation=PROVENANCE_ONLY,
+    )
+
+
+def _measured_row(label, fraction, engine, queries):
+    """One table row from the engine's measured provenance records."""
+    results = engine.execute_batch(queries)
+    answered = [r for r in results if not r.missed]
+    misses = len(results) - len(answered)
+    nodes = _mean([r.nodes_accessed for r in answered])
+    junctions = _mean([r.provenance.junction_count for r in answered])
+    boundary = _mean([r.provenance.boundary_length for r in answered])
+    return [
+        f"{fraction:.2%}",
+        label,
+        nodes,
+        junctions,
+        boundary,
+        misses / max(len(results), 1),
+    ]
+
+
+def _mean(values):
+    return sum(values) / len(values) if values else float("nan")
 
 
 def bench_fig11c_nodes_accessed(benchmark):
@@ -24,21 +78,16 @@ def bench_fig11c_nodes_accessed(benchmark):
         queries = p.standard_queries(fraction, n=N_QUERIES)
         for size in SAMPLED_SIZES:
             m = p.budget_for_fraction(size)
-            engine = p.engine(p.network("quadtree", m, seed=1))
-            report = evaluate(p, engine.execute, queries)
+            engine = _provenance_engine(p, p.network("quadtree", m, seed=1))
             rows.append(
-                [
-                    f"{fraction:.2%}",
-                    f"sampled {size:.1%}",
-                    report.nodes_accessed.mean,
-                    report.miss_rate,
-                ]
+                _measured_row(f"sampled {size:.1%}", fraction, engine, queries)
             )
         # Unsampled graph: flood accounting from the exact engine.
-        report = evaluate(p, p.exact_engine.execute, queries)
-        rows.append(
-            [f"{fraction:.2%}", "unsampled G", report.nodes_accessed.mean, 0.0]
+        exact = _provenance_engine(
+            p, p.full, store=p.full_form, access_mode="flood"
         )
+        rows.append(_measured_row("unsampled G", fraction, exact, queries))
+        # The Euler-histogram baseline attaches no provenance.
         baseline = p.baseline_for_fraction(0.512, seed=1)
         report = evaluate(p, baseline.execute, queries)
         rows.append(
@@ -46,6 +95,8 @@ def bench_fig11c_nodes_accessed(benchmark):
                 f"{fraction:.2%}",
                 "baseline 51.2%",
                 report.nodes_accessed.mean,
+                float("nan"),
+                float("nan"),
                 report.miss_rate,
             ]
         )
@@ -53,6 +104,7 @@ def bench_fig11c_nodes_accessed(benchmark):
         "fig11c",
         "Fig 11c: nodes accessed vs query size",
         format_table(HEADERS, rows),
+        config=p.config,
     )
 
     queries = p.standard_queries(STANDARD_AREA_FRACTIONS[-1], n=N_QUERIES)

@@ -29,6 +29,8 @@ def bench_fig12a_static_error_vs_graph_size(benchmark):
         f"Fig 12a: static lower-bound error vs graph size "
         f"(query area {FIXED_QUERY_AREA:.2%})",
         format_table(ERROR_HEADERS, rows),
+        series=series,
+        config=p.config,
     )
     emit_chart("fig12a", "Fig 12a: static error vs graph size", series)
 

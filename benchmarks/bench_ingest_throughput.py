@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import sys
 import time
 from pathlib import Path
@@ -49,16 +50,32 @@ SAMPLED_FRACTION = 0.256
 #: Smoke gate: fail if columnar events/sec drops below committed / 2.
 REGRESSION_FACTOR = 2.0
 
+#: Instrumentation-overhead gate: with the default no-op recorder the
+#: ingest path must stay within 5% of the committed throughput, i.e.
+#: events/sec >= committed * OVERHEAD_TOLERANCE.
+OVERHEAD_TOLERANCE = 0.95
+
 SCALES = {"smoke": SMALL_CONFIG, "default": DEFAULT_CONFIG}
 
 
-def _best(fn, repeats: int) -> float:
-    """Best-of-N wall time of ``fn()`` (minimum is the robust stat)."""
-    best = float("inf")
+def _best(fn, repeats: int, min_sample_s: float = 0.05) -> float:
+    """Best-of-N per-call wall time of ``fn()`` (min is the robust stat).
+
+    Calls are batched so each timed sample spans at least
+    ``min_sample_s``: smoke-scale builds run in well under a
+    millisecond, where single-call timings are dominated by scheduler
+    noise no 5% regression floor could tolerate.
+    """
+    t0 = time.perf_counter()
+    fn()
+    once = time.perf_counter() - t0
+    inner = max(1, math.ceil(min_sample_s / max(once, 1e-9)))
+    best = once
     for _ in range(repeats):
         t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - t0) / inner)
     return best
 
 
@@ -151,7 +168,16 @@ def load_baseline() -> dict:
 
 
 def check_regression(entry: dict, baseline: dict) -> int:
-    """CI gate: columnar throughput within 2x of the committed run."""
+    """CI gate: columnar throughput vs the committed run.
+
+    Two floors per network, both must hold:
+
+    - hard regression floor: committed / ``REGRESSION_FACTOR``
+      (catches order-of-magnitude breakage even on noisy runners);
+    - instrumentation-overhead floor: committed *
+      ``OVERHEAD_TOLERANCE`` — the default no-op recorder must not
+      cost more than 5% of ingest throughput.
+    """
     committed = baseline.get("entries", {}).get(entry["scale"])
     if committed is None:
         print(
@@ -163,14 +189,19 @@ def check_regression(entry: dict, baseline: dict) -> int:
     status = 0
     for name, measured in entry["networks"].items():
         reference = committed["networks"][name]["columnar_events_per_s"]
-        floor = reference / REGRESSION_FACTOR
         got = measured["columnar_events_per_s"]
-        verdict = "ok" if got >= floor else "REGRESSION"
+        floors = {
+            "hard": reference / REGRESSION_FACTOR,
+            "overhead<=5%": reference * OVERHEAD_TOLERANCE,
+        }
+        failed = [label for label, floor in floors.items() if got < floor]
+        verdict = "ok" if not failed else f"REGRESSION ({', '.join(failed)})"
         print(
             f"{name}: columnar {got:,.0f} events/s "
-            f"(committed {reference:,.0f}, floor {floor:,.0f}) {verdict}"
+            f"(committed {reference:,.0f}, overhead floor "
+            f"{floors['overhead<=5%']:,.0f}) {verdict}"
         )
-        if got < floor:
+        if failed:
             status = 1
     return status
 
@@ -183,14 +214,18 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "--smoke", action="store_true",
-        help="measure the smoke scale and fail on a >2x throughput "
-        "regression against the committed BENCH_ingest.json",
+        help="measure the smoke scale and fail if throughput regressed "
+        "more than 5%% (no-op instrumentation overhead bound) against "
+        "the committed BENCH_ingest.json",
     )
     parser.add_argument(
         "--write", action="store_true",
         help="update the measured scale's entry in BENCH_ingest.json",
     )
-    parser.add_argument("--repeats", type=int, default=3)
+    # Best-of-N minimum: smoke-scale builds are sub-millisecond, so a
+    # handful of repeats is needed for the 5% overhead floor to be
+    # meaningful rather than scheduler noise.
+    parser.add_argument("--repeats", type=int, default=7)
     args = parser.parse_args(argv)
 
     scale = "smoke" if args.smoke else args.scale

@@ -5,12 +5,19 @@ Commands
 ``demo``
     Run the quickstart pipeline end to end on a small synthetic city
     and print the results (deploy -> ingest -> query vs exact).
+    ``--trace out.json`` exports the run's span tree as Chrome
+    trace-viewer JSON; ``--metrics out.prom`` dumps the metrics
+    registry in Prometheus text format.
 ``info``
     Print the library version and the available selectors, stores and
     city generators.
 ``city``
     Generate a synthetic road network and save it in the JSON map
     interchange format (loadable with ``repro.mobility.load_road_network``).
+
+All output is routed through :mod:`repro.obs.logging`; ``--verbose``
+adds ``key=value`` debug records, ``--quiet`` suppresses everything
+below WARNING.
 """
 
 from __future__ import annotations
@@ -21,17 +28,21 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import logging as obs_logging
+
+log = obs_logging.get_logger("cli")
+
 
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.core.config import FrameworkConfig
 
-    print(f"repro {repro.__version__} — in-network spatiotemporal "
-          "range queries (EDBT 2024 reproduction)")
-    print(f"  selectors : {', '.join(FrameworkConfig._SELECTORS)}")
-    print(f"  stores    : {', '.join(FrameworkConfig._STORES)}")
-    print("  cities    : grid, radial, organic")
-    print("  docs      : README.md, DESIGN.md, EXPERIMENTS.md")
+    log.info(f"repro {repro.__version__} — in-network spatiotemporal "
+             "range queries (EDBT 2024 reproduction)")
+    log.info(f"  selectors : {', '.join(FrameworkConfig._SELECTORS)}")
+    log.info(f"  stores    : {', '.join(FrameworkConfig._STORES)}")
+    log.info("  cities    : grid, radial, organic")
+    log.info("  docs      : README.md, DESIGN.md, EXPERIMENTS.md")
     return 0
 
 
@@ -39,31 +50,42 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro import FrameworkConfig, InNetworkFramework
     from repro.geometry import BBox
     from repro.mobility import organic_city
+    from repro.obs import Instrumentation, MetricsRegistry, kv, set_registry
     from repro.trajectories import WorkloadConfig, generate_workload
+
+    instrumented = bool(args.trace or args.metrics)
+    if instrumented:
+        # A fresh registry so the dump reflects this run only.
+        set_registry(MetricsRegistry())
+        obs = Instrumentation.on(provenance=True)
+    else:
+        obs = None
 
     rng = np.random.default_rng(args.seed)
     road = organic_city(blocks=args.blocks, rng=rng)
-    framework = InNetworkFramework.from_road_graph(road)
+    framework = InNetworkFramework.from_road_graph(road, instrumentation=obs)
     domain = framework.domain
-    print(f"city: {domain.junction_count} junctions, "
-          f"{domain.block_count} blocks")
+    log.info(f"city: {domain.junction_count} junctions, "
+             f"{domain.block_count} blocks")
 
     budget = max(int(domain.block_count * args.fraction), 2)
     network = framework.deploy(
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, seed=args.seed)
     )
-    print(f"deployed: {len(network.sensors)} sensors "
-          f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
-          f"{network.region_count} regions")
+    log.info(f"deployed: {len(network.sensors)} sensors "
+             f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
+             f"{network.region_count} regions")
+    log.debug("deploy %s", kv(selector=args.selector, budget=budget,
+                              regions=network.region_count))
 
     workload = generate_workload(
         domain,
         WorkloadConfig(n_trips=args.trips, horizon_days=1.0,
                        mean_dwell=3600.0, seed=args.seed),
     )
-    framework.ingest_trips(workload.trips)
-    print(f"ingested: {len(workload.events(domain))} crossing events")
+    n_events = framework.ingest_trips(workload.trips)
+    log.info(f"ingested: {n_events} crossing events")
 
     box = BBox.from_center(domain.bounds.center,
                            domain.bounds.width * 0.45,
@@ -72,15 +94,31 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     approx = framework.query(box, 0.0, t2)
     exact = framework.query_exact(box, 0.0, t2)
     if approx.missed:
-        print("query: lower bound missed (increase --fraction)")
+        log.info("query: lower bound missed (increase --fraction)")
     else:
         error = (abs(approx.value - exact.value) / exact.value
                  if exact.value else 0.0)
-        print(f"query @18:00 — estimate {approx.value:.0f}, "
-              f"exact {exact.value:.0f} (err {error:.1%}); "
-              f"{approx.nodes_accessed} sensors contacted vs "
-              f"{exact.nodes_accessed} flooded")
-    print(f"storage: {framework.storage_bytes} bytes ({args.store})")
+        log.info(f"query @18:00 — estimate {approx.value:.0f}, "
+                 f"exact {exact.value:.0f} (err {error:.1%}); "
+                 f"{approx.nodes_accessed} sensors contacted vs "
+                 f"{exact.nodes_accessed} flooded")
+        if approx.provenance is not None:
+            log.debug("query provenance %s", kv(
+                junctions=approx.provenance.junction_count,
+                regions=len(approx.provenance.region_ids),
+                boundary=approx.provenance.boundary_length,
+            ))
+    log.info(f"storage: {framework.storage_bytes} bytes ({args.store})")
+
+    if obs is not None:
+        if args.trace:
+            obs.tracer.export_chrome(args.trace)
+            log.info(f"trace: wrote {args.trace}")
+            log.debug("span tree:\n%s", obs.tracer.format_tree())
+        if args.metrics:
+            with open(args.metrics, "w") as handle:
+                handle.write(obs.metrics.to_prometheus())
+            log.info(f"metrics: wrote {args.metrics}")
     return 0
 
 
@@ -103,8 +141,8 @@ def _cmd_city(args: argparse.Namespace) -> int:
     else:
         graph = organic_city(blocks=args.blocks, rng=rng)
     save_road_network(graph, args.output)
-    print(f"wrote {args.kind} city ({graph.node_count} nodes, "
-          f"{graph.edge_count} edges) to {args.output}")
+    log.info(f"wrote {args.kind} city ({graph.node_count} nodes, "
+             f"{graph.edge_count} edges) to {args.output}")
     return 0
 
 
@@ -113,6 +151,15 @@ def build_parser() -> argparse.ArgumentParser:
         prog="python -m repro",
         description="In-network spatiotemporal range queries "
                     "(EDBT 2024 reproduction)",
+    )
+    verbosity = parser.add_mutually_exclusive_group()
+    verbosity.add_argument(
+        "--verbose", "-v", action="store_true",
+        help="debug output with key=value detail records",
+    )
+    verbosity.add_argument(
+        "--quiet", action="store_true",
+        help="suppress everything below WARNING",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -132,6 +179,11 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["exact", "linear", "polynomial",
                                "piecewise", "histogram"])
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--trace", metavar="PATH", default=None,
+                      help="write Chrome trace-viewer JSON of the run")
+    demo.add_argument("--metrics", metavar="PATH", default=None,
+                      help="write the metrics registry in Prometheus "
+                           "text format")
     demo.set_defaults(handler=_cmd_demo)
 
     city = commands.add_parser("city", help="generate a synthetic city map")
@@ -146,6 +198,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    verbosity = 1 if args.verbose else (-1 if args.quiet else 0)
+    obs_logging.configure(verbosity)
     return args.handler(args)
 
 

@@ -32,6 +32,7 @@ from ..models import (
     PolynomialModel,
     StepHistogramModel,
 )
+from ..obs import Instrumentation, NULL_INSTRUMENTATION, get_registry
 from ..planar import NodeId, PlanarGraph
 from ..query import LOWER, STATIC, QueryEngine, QueryResult, RangeQuery
 from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
@@ -59,7 +60,16 @@ _MODEL_FACTORIES = {
 class InNetworkFramework:
     """End-to-end in-network spatiotemporal range-count framework."""
 
-    def __init__(self, domain: MobilityDomain) -> None:
+    def __init__(
+        self,
+        domain: MobilityDomain,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
         self.domain = domain
         self.config: Optional[FrameworkConfig] = None
         self.network: Optional[SensorNetwork] = None
@@ -67,13 +77,29 @@ class InNetworkFramework:
         self._form: Optional[TrackingForm] = None
         self._full_form: Optional[TrackingForm] = None
         self._store: Optional[EdgeCountStore] = None
-        self._full = full_network(domain)
+        with self.obs.tracer.span("deploy.full_reference_network"):
+            self._full = full_network(domain)
         self._query_history: List[Set[NodeId]] = []
 
     @classmethod
-    def from_road_graph(cls, road_graph: PlanarGraph) -> "InNetworkFramework":
+    def from_road_graph(
+        cls,
+        road_graph: PlanarGraph,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> "InNetworkFramework":
         """Build the framework from a planar road network."""
-        return cls(MobilityDomain(road_graph))
+        obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        with obs.tracer.span(
+            "planarize",
+            nodes=road_graph.node_count,
+            edges=road_graph.edge_count,
+        ):
+            domain = MobilityDomain(road_graph)
+        return cls(domain, instrumentation=instrumentation)
 
     # ------------------------------------------------------------------
     # Deployment
@@ -90,52 +116,87 @@ class InNetworkFramework:
         Re-deploying re-ingests previously ingested events into the new
         configuration automatically.
         """
-        rng = np.random.default_rng(config.seed)
-        candidates = SensorCandidates.from_domain(self.domain)
-        budget = min(config.budget, len(candidates))
+        tracer = self.obs.tracer
+        with tracer.span(
+            "deploy", selector=config.selector, budget=config.budget
+        ) as span:
+            rng = np.random.default_rng(config.seed)
+            candidates = SensorCandidates.from_domain(self.domain)
+            budget = min(config.budget, len(candidates))
 
-        if config.selector == "submodular":
-            if not self._query_history:
-                raise ConfigurationError(
-                    "submodular deployment needs record_query_region() "
-                    "calls (historical query regions) first"
-                )
-            plan = SubmodularSelector(self.domain, self._query_history).plan(
-                budget
-            )
-            network = wall_network(
-                self.domain, plan.walls, plan.sensors, name="submodular"
-            )
-        else:
-            selector = {
-                "uniform": UniformSelector,
-                "systematic": SystematicSelector,
-                "kdtree": KDTreeSelector,
-                "quadtree": QuadTreeSelector,
-            }.get(config.selector)
-            if selector is not None:
-                chosen = selector().select(candidates, budget, rng)
-            else:  # stratified
-                strata = voronoi_strata(
-                    self.domain.bounds, rng=np.random.default_rng(config.seed)
-                )
-                chosen = StratifiedSelector(strata).select(
-                    candidates, budget, rng
-                )
-            network = sampled_network(
-                self.domain,
-                chosen,
-                connectivity=config.connectivity,
-                k=config.knn_k,
-                name=config.selector,
-            )
+            if config.selector == "submodular":
+                if not self._query_history:
+                    raise ConfigurationError(
+                        "submodular deployment needs record_query_region() "
+                        "calls (historical query regions) first"
+                    )
+                with tracer.span("deploy.select_sensors"):
+                    plan = SubmodularSelector(
+                        self.domain, self._query_history
+                    ).plan(budget)
+                with tracer.span("deploy.materialise_network"):
+                    network = wall_network(
+                        self.domain, plan.walls, plan.sensors,
+                        name="submodular",
+                    )
+            else:
+                selector = {
+                    "uniform": UniformSelector,
+                    "systematic": SystematicSelector,
+                    "kdtree": KDTreeSelector,
+                    "quadtree": QuadTreeSelector,
+                }.get(config.selector)
+                with tracer.span("deploy.select_sensors"):
+                    if selector is not None:
+                        chosen = selector().select(candidates, budget, rng)
+                    else:  # stratified
+                        strata = voronoi_strata(
+                            self.domain.bounds,
+                            rng=np.random.default_rng(config.seed),
+                        )
+                        chosen = StratifiedSelector(strata).select(
+                            candidates, budget, rng
+                        )
+                with tracer.span("deploy.materialise_network"):
+                    network = sampled_network(
+                        self.domain,
+                        chosen,
+                        connectivity=config.connectivity,
+                        k=config.knn_k,
+                        name=config.selector,
+                    )
 
-        self.config = config
-        self.network = network
-        self._form = None
-        self._store = None
-        if self._events:
-            self._rebuild_stores()
+            registry = get_registry()
+            registry.counter(
+                "repro_deploys_total",
+                help="Sensing-network deployments, by selector",
+                selector=config.selector,
+            ).inc()
+            registry.gauge(
+                "repro_deployed_sensors",
+                help="Communication sensors in the deployed network",
+            ).set(len(network.sensors))
+            registry.gauge(
+                "repro_deployed_walls",
+                help="Monitored walls in the deployed network",
+            ).set(len(network.walls))
+            registry.gauge(
+                "repro_deployed_regions",
+                help="Sensing regions of the deployed network",
+            ).set(network.region_count)
+            if tracer.enabled:
+                span.set(
+                    sensors=len(network.sensors),
+                    walls=len(network.walls),
+                    regions=network.region_count,
+                )
+
+            self.config = config
+            self.network = network
+            self._form = None
+            self._store = None
+            if self._events:
+                self._rebuild_stores()
         return network
 
     # ------------------------------------------------------------------
@@ -143,24 +204,36 @@ class InNetworkFramework:
     # ------------------------------------------------------------------
     def ingest_trips(self, trips: Sequence[Trip]) -> int:
         """Ingest trips as anonymous crossing events."""
-        return self.ingest_events(all_events(self.domain, trips))
+        with self.obs.tracer.span("ingest.extract_events", trips=len(trips)):
+            events = all_events(self.domain, trips)
+        return self.ingest_events(events)
 
     def ingest_events(self, events: Iterable[CrossingEvent]) -> int:
         """Ingest an anonymous crossing-event stream."""
         events = list(events)
-        self._events.extend(events)
-        self._rebuild_stores()
+        with self.obs.tracer.span("ingest", events=len(events)):
+            self._events.extend(events)
+            self._rebuild_stores()
+        get_registry().counter(
+            "repro_events_ingested_total",
+            help="Crossing events ingested by the framework",
+        ).inc(len(events))
         return len(events)
 
     def _rebuild_stores(self) -> None:
-        columns = EventColumns.from_events(self.domain, self._events)
-        self._full_form = self._full.build_form(columns)
+        tracer = self.obs.tracer
+        with tracer.span("ingest.columnarize", events=len(self._events)):
+            columns = EventColumns.from_events(self.domain, self._events)
+        with tracer.span("ingest.build_form", network="full"):
+            self._full_form = self._full.build_form(columns)
         if self.network is None:
             return
-        self._form = self.network.build_form(columns)
+        with tracer.span("ingest.build_form", network=self.network.name):
+            self._form = self.network.build_form(columns)
         if self.config is not None and self.config.store != "exact":
             factory = _MODEL_FACTORIES[self.config.store]
-            self._store = ModeledCountStore.fit(self._form, factory)
+            with tracer.span("ingest.fit_models", store=self.config.store):
+                self._store = ModeledCountStore.fit(self._form, factory)
         else:
             self._store = self._form
 
@@ -178,7 +251,9 @@ class InNetworkFramework:
         """Answer a range count query on the deployed sampled network."""
         if self.network is None or self._store is None:
             raise QueryError("deploy() and ingest first")
-        engine = QueryEngine(self.network, self._store)
+        engine = QueryEngine(
+            self.network, self._store, instrumentation=self.obs
+        )
         return engine.execute(RangeQuery(box, t1, t2, kind=kind, bound=bound))
 
     def query_exact(
@@ -191,7 +266,12 @@ class InNetworkFramework:
         """Exact answer from the full (unsampled) sensing graph."""
         if self._full_form is None:
             raise QueryError("ingest trips or events first")
-        engine = QueryEngine(self._full, self._full_form, access_mode="flood")
+        engine = QueryEngine(
+            self._full,
+            self._full_form,
+            access_mode="flood",
+            instrumentation=self.obs,
+        )
         return engine.execute(RangeQuery(box, t1, t2, kind=kind))
 
     # ------------------------------------------------------------------

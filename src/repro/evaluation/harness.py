@@ -29,6 +29,7 @@ from ..mobility import (
     radial_city,
     voronoi_strata,
 )
+from ..obs import Instrumentation, NULL_INSTRUMENTATION, get_registry
 from ..planar import NodeId
 from ..query import QueryEngine, QueryResult, RangeQuery
 from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
@@ -111,43 +112,63 @@ SMALL_CONFIG = PipelineConfig(
 class Pipeline:
     """Cached experiment state shared by all benchmarks of a config."""
 
-    def __init__(self, config: PipelineConfig) -> None:
+    def __init__(
+        self,
+        config: PipelineConfig,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         self.config = config
-        rng = np.random.default_rng(config.road_seed)
-        if config.city == "organic":
-            road = organic_city(blocks=config.blocks, rng=rng)
-        elif config.city == "grid":
-            side = max(int(round(np.sqrt(config.blocks))) + 1, 3)
-            road = grid_city(rows=side, cols=side, rng=rng)
-        else:
-            spokes = max(int(np.sqrt(config.blocks * 2)), 4)
-            rings = max(config.blocks // spokes, 2)
-            road = radial_city(rings=rings, spokes=spokes, rng=rng)
-        self.domain = MobilityDomain(road)
-
-        self.workload: Workload = generate_workload(
-            self.domain,
-            WorkloadConfig(
-                n_trips=config.n_trips,
-                horizon_days=config.horizon_days,
-                mean_dwell=config.mean_dwell,
-                seed=config.trip_seed,
-            ),
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
         )
-        self.events = self.workload.events(self.domain)
+        tracer = self.obs.tracer
+        rng = np.random.default_rng(config.road_seed)
+        with tracer.span("build.city", kind=config.city,
+                         blocks=config.blocks):
+            if config.city == "organic":
+                road = organic_city(blocks=config.blocks, rng=rng)
+            elif config.city == "grid":
+                side = max(int(round(np.sqrt(config.blocks))) + 1, 3)
+                road = grid_city(rows=side, cols=side, rng=rng)
+            else:
+                spokes = max(int(np.sqrt(config.blocks * 2)), 4)
+                rings = max(config.blocks // spokes, 2)
+                road = radial_city(rings=rings, spokes=spokes, rng=rng)
+        with tracer.span("planarize", nodes=road.node_count,
+                         edges=road.edge_count):
+            self.domain = MobilityDomain(road)
+
+        with tracer.span("build.workload", trips=config.n_trips):
+            self.workload: Workload = generate_workload(
+                self.domain,
+                WorkloadConfig(
+                    n_trips=config.n_trips,
+                    horizon_days=config.horizon_days,
+                    mean_dwell=config.mean_dwell,
+                    seed=config.trip_seed,
+                ),
+            )
+            self.events = self.workload.events(self.domain)
         #: Columnar view of the event stream, materialised once; every
         #: network ingestion is a vectorised filter over these arrays.
-        self.event_columns = EventColumns.from_events(
-            self.domain, self.events
-        )
+        with tracer.span("ingest.columnarize", events=len(self.events)):
+            self.event_columns = EventColumns.from_events(
+                self.domain, self.events
+            )
         self.horizon = self.workload.horizon
 
-        self.full = full_network(self.domain)
-        self.full_form = self.full.build_form(self.event_columns)
+        with tracer.span("ingest.build_form", network="full"):
+            self.full = full_network(self.domain)
+            self.full_form = self.full.build_form(self.event_columns)
         #: The paper's reference: exact counts on the unsampled graph,
         #: flooding every sensor in the region (Fig. 11c behaviour).
         self.exact_engine = QueryEngine(
-            self.full, self.full_form, access_mode="flood"
+            self.full,
+            self.full_form,
+            access_mode="flood",
+            instrumentation=self.obs,
         )
 
         self.candidates = SensorCandidates.from_domain(self.domain)
@@ -207,6 +228,18 @@ class Pipeline:
         network = self._networks.get(key)
         if network is not None:
             return network
+        with self.obs.tracer.span(
+            "deploy", selector=selector_name, budget=m
+        ):
+            network = self._build_network(
+                selector_name, m, seed, connectivity, k
+            )
+        self._networks[key] = network
+        return network
+
+    def _build_network(
+        self, selector_name: str, m: int, seed: int, connectivity: str, k: int
+    ) -> SensorNetwork:
         rng = np.random.default_rng(seed)
         if selector_name == "submodular":
             # Fair budget: a sampled graph's m communication sensors
@@ -235,7 +268,6 @@ class Pipeline:
                 k=k,
                 name=f"{selector_name}-m{m}-{connectivity}",
             )
-        self._networks[key] = network
         return network
 
     @staticmethod
@@ -260,8 +292,22 @@ class Pipeline:
         key = self.form_key(network)
         form = self._forms.get(key)
         if form is None:
-            form = network.build_form(self.event_columns)
+            get_registry().counter(
+                "repro_form_cache_total",
+                help="Pipeline form-cache lookups by outcome",
+                outcome="miss",
+            ).inc()
+            with self.obs.tracer.span(
+                "ingest.build_form", network=network.name
+            ):
+                form = network.build_form(self.event_columns)
             self._forms[key] = form
+        else:
+            get_registry().counter(
+                "repro_form_cache_total",
+                help="Pipeline form-cache lookups by outcome",
+                outcome="hit",
+            ).inc()
         return form
 
     def cache_form(self, network: SensorNetwork, form) -> None:
@@ -278,6 +324,7 @@ class Pipeline:
             network,
             store if store is not None else self.form(network),
             access_mode=access_mode,
+            instrumentation=self.obs,
         )
 
     def baseline(self, m: int, seed: int = 0) -> EulerHistogramBaseline:

@@ -1,12 +1,16 @@
 """Plain-text table rendering for benchmark output.
 
 The benchmarks print the same rows/series the paper's figures plot;
-these helpers keep that output aligned and consistent.
+these helpers keep that output aligned and consistent.  Output goes
+through :mod:`repro.obs.logging` (INFO level renders bare messages, so
+the default output is unchanged; ``--quiet`` silences it).
 """
 
 from __future__ import annotations
 
 from typing import Iterable, List, Sequence
+
+from ..obs import get_logger
 
 
 def format_table(
@@ -42,6 +46,7 @@ def _cell(value: object) -> str:
 
 def print_series(title: str, xs: Sequence[object], ys: Sequence[object]) -> None:
     """Print one figure series as x/y rows."""
-    print(f"\n{title}")
+    log = get_logger("evaluation.tables")
+    log.info(f"\n{title}")
     for x, y in zip(xs, ys):
-        print(f"  {x}: {y}")
+        log.info(f"  {x}: {y}")

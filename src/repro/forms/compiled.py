@@ -24,6 +24,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tupl
 import numpy as np
 
 from ..errors import QueryError
+from ..obs import get_registry
 from .snapshot import DirectedEdge, _canonical
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,6 +81,25 @@ class CompiledTrackingForm:
             Tuple[DirectedEdge, ...], Tuple[np.ndarray, np.ndarray]
         ] = {}
 
+        # Instrument references are bound to the registry current at
+        # compile time (swap the global registry before building the
+        # pipeline you want measured).
+        registry = get_registry()
+        self._metric_searchsorted = registry.counter(
+            "repro_csr_searchsorted_total",
+            help="np.searchsorted calls answered by compiled forms",
+        )
+        self._metric_boundary_compiles = registry.counter(
+            "repro_csr_boundary_cache_total",
+            help="Boundary-chain compilations by cache outcome",
+            outcome="compile",
+        )
+        self._metric_boundary_hits = registry.counter(
+            "repro_csr_boundary_cache_total",
+            help="Boundary-chain compilations by cache outcome",
+            outcome="hit",
+        )
+
     # ------------------------------------------------------------------
     # Alternative constructors
     # ------------------------------------------------------------------
@@ -122,11 +142,13 @@ class CompiledTrackingForm:
     def count_entering(self, edge: DirectedEdge, t: float) -> int:
         """``C(γ⁺(e), t)``: crossings in the direction of ``edge`` to t."""
         segment = self._segment(edge, entering=True)
+        self._metric_searchsorted.inc()
         return int(np.searchsorted(segment, t, side="right"))
 
     def count_leaving(self, edge: DirectedEdge, t: float) -> int:
         """``C(γ⁻(e), t)``: crossings against the direction of ``edge``."""
         segment = self._segment(edge, entering=False)
+        self._metric_searchsorted.inc()
         return int(np.searchsorted(segment, t, side="right"))
 
     def net_until(self, edge: DirectedEdge, t: float) -> int:
@@ -156,7 +178,9 @@ class CompiledTrackingForm:
         key = tuple(edges)
         compiled = self._boundaries.get(key)
         if compiled is not None:
+            self._metric_boundary_hits.inc()
             return compiled
+        self._metric_boundary_compiles.inc()
         parts: List[np.ndarray] = []
         signs: List[np.ndarray] = []
         for edge in key:
@@ -186,6 +210,7 @@ class CompiledTrackingForm:
     ) -> int:
         """Theorem 4.2 over a whole boundary chain in one searchsorted."""
         times, prefix = self.compile_boundary(tuple(edges))
+        self._metric_searchsorted.inc()
         return int(prefix[np.searchsorted(times, t, side="right")])
 
     def integrate_between(
@@ -195,6 +220,7 @@ class CompiledTrackingForm:
         if t2 < t1:
             raise QueryError(f"inverted time interval [{t1}, {t2}]")
         times, prefix = self.compile_boundary(tuple(edges))
+        self._metric_searchsorted.inc()
         lo, hi = np.searchsorted(times, (t1, t2), side="right")
         return int(prefix[hi] - prefix[lo])
 

@@ -22,9 +22,10 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from ..errors import QueryError
+from ..obs import Instrumentation, NULL_INSTRUMENTATION, get_registry
 from ..sampling import SensorNetwork
 
 
@@ -43,8 +44,17 @@ class CommunicationReport:
 class NetworkSimulator:
     """Simulates query dispatch over a sensing network."""
 
-    def __init__(self, network: SensorNetwork) -> None:
+    def __init__(
+        self,
+        network: SensorNetwork,
+        instrumentation: Optional[Instrumentation] = None,
+    ) -> None:
         self.network = network
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
         self._mean_hop = self._mean_dual_edge_length()
 
     def _mean_dual_edge_length(self) -> float:
@@ -76,11 +86,46 @@ class NetworkSimulator:
         sensors = list(dict.fromkeys(perimeter_sensors))
         if not sensors:
             raise QueryError("cannot dispatch to an empty perimeter")
-        if strategy == "server_fanout":
-            return self._server_fanout(sensors)
-        if strategy == "perimeter_walk":
-            return self._perimeter_walk(sensors)
-        raise QueryError(f"unknown dispatch strategy {strategy!r}")
+        with self.obs.tracer.span(
+            "simulator.dispatch", strategy=strategy, sensors=len(sensors)
+        ):
+            if strategy == "server_fanout":
+                report = self._server_fanout(sensors)
+            elif strategy == "perimeter_walk":
+                report = self._perimeter_walk(sensors)
+            else:
+                raise QueryError(f"unknown dispatch strategy {strategy!r}")
+        self._record(report)
+        return report
+
+    def _record(self, report: CommunicationReport) -> None:
+        registry = get_registry()
+        strategy = report.strategy
+        registry.counter(
+            "repro_sim_dispatches_total",
+            help="Simulated query dispatches, by strategy",
+            strategy=strategy,
+        ).inc()
+        registry.counter(
+            "repro_sim_messages_total",
+            help="Simulated messages sent, by strategy",
+            strategy=strategy,
+        ).inc(report.messages)
+        registry.counter(
+            "repro_sim_hops_total",
+            help="Simulated message hops travelled, by strategy",
+            strategy=strategy,
+        ).inc(report.hops)
+        registry.histogram(
+            "repro_sim_messages",
+            help="Messages per dispatch, by strategy",
+            strategy=strategy,
+        ).observe(report.messages)
+        registry.histogram(
+            "repro_sim_hops",
+            help="Hops per dispatch, by strategy",
+            strategy=strategy,
+        ).observe(report.hops)
 
     def _server_fanout(self, sensors: List[int]) -> CommunicationReport:
         load = {sensor: 2 for sensor in sensors}  # request + reply

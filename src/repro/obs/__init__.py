@@ -1,0 +1,59 @@
+"""Observability substrate: tracing spans, metrics, provenance, logging.
+
+Zero-dependency instrumentation threaded through the deploy → ingest →
+query pipeline:
+
+- :mod:`repro.obs.trace` — hierarchical monotonic-clock spans,
+  exportable as Chrome trace-viewer JSON and a human-readable tree;
+- :mod:`repro.obs.metrics` — a process-global but swappable
+  :class:`MetricsRegistry` (counters, gauges, fixed-bucket histograms)
+  exportable as JSON and Prometheus text format;
+- :mod:`repro.obs.provenance` — the opt-in per-query
+  :class:`QueryProvenance` record attached to query results;
+- :mod:`repro.obs.instrument` — the :class:`Instrumentation` bundle
+  the framework, pipeline, engine and simulator accept (default: the
+  no-op :data:`NULL_INSTRUMENTATION`);
+- :mod:`repro.obs.logging` — shared stdlib-logging setup with
+  ``key=value`` structured extras.
+"""
+
+from .instrument import Instrumentation, NULL_INSTRUMENTATION
+from .logging import configure as configure_logging
+from .logging import get_logger, kv
+from .metrics import (
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    NullMetricsRegistry,
+    get_registry,
+    set_registry,
+    use_registry,
+)
+from .provenance import QueryProvenance
+from .trace import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Instrumentation",
+    "MetricsRegistry",
+    "NULL_INSTRUMENTATION",
+    "NULL_REGISTRY",
+    "NULL_TRACER",
+    "NullMetricsRegistry",
+    "NullTracer",
+    "QueryProvenance",
+    "Span",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "get_registry",
+    "kv",
+    "set_registry",
+    "use_registry",
+]

@@ -1,0 +1,93 @@
+"""Shared logging setup for the CLI and table output.
+
+Routes what used to be bare ``print()`` calls through stdlib
+``logging`` without changing the default output by a single byte:
+
+- the default format is ``%(message)s`` on stdout (exactly ``print``);
+- ``configure(verbosity=1)`` (CLI ``--verbose``) drops the level to
+  DEBUG and prefixes records with ``level logger:``;
+- ``configure(verbosity=-1)`` (CLI ``--quiet``) raises it to WARNING.
+
+The handler resolves ``sys.stdout`` at emit time, so pytest's capsys
+(and any stream redirection) sees the output.
+
+Structured extras go through :func:`kv`, which renders keyword pairs
+as a canonical ``key=value`` suffix — callers emit them at DEBUG so
+the default output stays stable::
+
+    log = get_logger("demo")
+    log.debug("deploy %s", kv(sensors=32, walls=118))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Any, Optional
+
+ROOT = "repro"
+
+_configured = False
+
+
+class _DynamicStdoutHandler(logging.StreamHandler):
+    """StreamHandler bound to the *current* ``sys.stdout`` at emit."""
+
+    def __init__(self) -> None:
+        super().__init__(stream=sys.stdout)
+
+    @property
+    def stream(self):
+        return sys.stdout
+
+    @stream.setter
+    def stream(self, value) -> None:  # base __init__ assigns; ignore
+        pass
+
+
+def configure(verbosity: int = 0) -> logging.Logger:
+    """(Re)configure the ``repro`` logger tree.
+
+    ``verbosity``: -1 quiet (WARNING), 0 default (INFO, bare
+    messages — byte-identical to the old ``print`` output), 1 verbose
+    (DEBUG, prefixed records).
+    """
+    global _configured
+    root = logging.getLogger(ROOT)
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = _DynamicStdoutHandler()
+    if verbosity >= 1:
+        handler.setFormatter(
+            logging.Formatter("%(levelname).1s %(name)s: %(message)s")
+        )
+        root.setLevel(logging.DEBUG)
+    else:
+        handler.setFormatter(logging.Formatter("%(message)s"))
+        root.setLevel(logging.WARNING if verbosity < 0 else logging.INFO)
+    root.addHandler(handler)
+    root.propagate = False
+    _configured = True
+    return root
+
+
+def get_logger(name: Optional[str] = None) -> logging.Logger:
+    """A logger under the ``repro`` tree, auto-configured on first use."""
+    if not _configured:
+        configure()
+    if not name or name == ROOT:
+        return logging.getLogger(ROOT)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def kv(**fields: Any) -> str:
+    """Render keyword fields as a stable ``key=value`` string."""
+    return " ".join(f"{key}={_scalar(value)}" for key, value in fields.items())
+
+
+def _scalar(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, str) and (" " in value or not value):
+        return repr(value)
+    return str(value)

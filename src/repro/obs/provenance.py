@@ -1,0 +1,61 @@
+"""Per-query provenance: what a query *actually* touched and cost.
+
+The headline numbers of the paper (speedup, sensors accessed, storage)
+are accounting claims; :class:`QueryProvenance` records the measured
+internals of one execution so the figure benchmarks can report them
+directly instead of re-deriving estimates:
+
+- the resolved junction count and the region ids the rectangle was
+  approximated by;
+- the boundary-chain length the integration walked;
+- per-phase wall times (``resolve_junctions``, ``approximate_region``,
+  ``build_boundary``, ``integrate``, ``account_sensors``);
+- batched execution cache accounting — which of the shared caches
+  (junctions / regions / boundary / sensors) served this query, and
+  how much shared cache-fill time the query triggered (metered
+  separately from its own ``elapsed``; see
+  :meth:`repro.query.QueryEngine.execute_batch`).
+
+Provenance is opt-in (``Instrumentation(provenance=True)``); the
+default pipeline attaches nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+
+@dataclass
+class QueryProvenance:
+    """Measured internals of one query execution."""
+
+    #: Junctions the query rectangle resolved to (|R|, §5.1.5).
+    junction_count: int = 0
+    #: Region ids of the executed approximation.
+    region_ids: Tuple[int, ...] = ()
+    #: Directed boundary-chain length integrated over.
+    boundary_length: int = 0
+    #: True when every shared structure this query needed came from the
+    #: batch caches (always False under ``execute()``).
+    cache_served: bool = False
+    #: Per-cache hit flags under batched execution
+    #: (``junctions`` / ``regions`` / ``boundary`` / ``sensors``).
+    cache_hits: Dict[str, bool] = field(default_factory=dict)
+    #: Shared cache-fill seconds this query *triggered* (excluded from
+    #: the result's ``elapsed`` so per-query times are comparable).
+    shared_fill_s: float = 0.0
+    #: Per-phase wall times in seconds.
+    phase_s: Dict[str, float] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation (results files, trace attributes)."""
+        return {
+            "junction_count": self.junction_count,
+            "region_ids": list(self.region_ids),
+            "boundary_length": self.boundary_length,
+            "cache_served": self.cache_served,
+            "cache_hits": dict(self.cache_hits),
+            "shared_fill_s": self.shared_fill_s,
+            "phase_s": dict(self.phase_s),
+        }

@@ -1,0 +1,234 @@
+"""Hierarchical tracing spans over the deploy → ingest → query pipeline.
+
+A :class:`Tracer` records a forest of :class:`Span` objects — named,
+monotonically-clocked intervals with free-form attributes — via the
+``span()`` context manager.  Spans nest through a tracer-local stack,
+so any code running inside ``with tracer.span("ingest"):`` that opens
+its own span becomes a child of ``ingest`` without explicit plumbing.
+
+Two exports:
+
+- :meth:`Tracer.to_chrome_trace` — the Chrome trace-viewer JSON object
+  format (load in ``chrome://tracing`` or Perfetto);
+- :meth:`Tracer.format_tree` — a human-readable indented tree with
+  durations and attributes.
+
+:class:`NullTracer` is the no-op implementation used by the default
+(uninstrumented) pipeline; its ``span()`` returns a shared singleton
+context manager so disabled tracing costs one call and one ``with``
+per site.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class Span:
+    """One named interval on the monotonic clock, with attributes."""
+
+    __slots__ = ("name", "start", "end", "attributes", "children")
+
+    def __init__(self, name: str, start: float, **attributes: Any) -> None:
+        self.name = name
+        self.start = start
+        self.end: Optional[float] = None
+        self.attributes: Dict[str, Any] = dict(attributes)
+        self.children: List["Span"] = []
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+    def set(self, **attributes: Any) -> "Span":
+        """Attach (or overwrite) attributes; returns self for chaining."""
+        self.attributes.update(attributes)
+        return self
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth first."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, {self.duration * 1e3:.3f}ms, "
+            f"children={len(self.children)})"
+        )
+
+
+class _SpanContext:
+    """Context manager opening one span on a tracer's stack."""
+
+    __slots__ = ("_tracer", "span")
+
+    def __init__(self, tracer: "Tracer", span: Span) -> None:
+        self._tracer = tracer
+        self.span = span
+
+    def __enter__(self) -> Span:
+        return self.span
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self._tracer._close(self.span)
+
+
+class Tracer:
+    """Records a forest of nested spans on the monotonic clock."""
+
+    #: Real tracers record; the null tracer advertises False so hot
+    #: paths can skip attribute computation entirely.
+    enabled = True
+
+    def __init__(self) -> None:
+        self.roots: List[Span] = []
+        self._stack: List[Span] = []
+        #: perf_counter origin so exported timestamps start near zero.
+        self._origin = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes: Any) -> _SpanContext:
+        """Open a child span of the innermost open span (or a root)."""
+        opened = Span(name, time.perf_counter(), **attributes)
+        if self._stack:
+            self._stack[-1].children.append(opened)
+        else:
+            self.roots.append(opened)
+        self._stack.append(opened)
+        return _SpanContext(self, opened)
+
+    def _close(self, span: Span) -> None:
+        span.end = time.perf_counter()
+        # Close any forgotten descendants too (exception unwinds).
+        while self._stack and self._stack[-1] is not span:
+            dangling = self._stack.pop()
+            if dangling.end is None:
+                dangling.end = span.end
+        if self._stack and self._stack[-1] is span:
+            self._stack.pop()
+
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[Span]:
+        """Every recorded span, depth first across roots."""
+        for root in self.roots:
+            yield from root.walk()
+
+    def find(self, name: str) -> List[Span]:
+        """All spans with the given name."""
+        return [span for span in self.walk() if span.name == name]
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """Chrome trace-viewer JSON object (``traceEvents`` complete
+        events, microsecond timestamps)."""
+        events: List[Dict[str, Any]] = []
+        for span in self.walk():
+            end = span.end if span.end is not None else span.start
+            events.append(
+                {
+                    "name": span.name,
+                    "ph": "X",
+                    "ts": (span.start - self._origin) * 1e6,
+                    "dur": (end - span.start) * 1e6,
+                    "pid": 1,
+                    "tid": 1,
+                    "cat": "repro",
+                    "args": _jsonable(span.attributes),
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle, indent=1)
+
+    def format_tree(self) -> str:
+        """Indented human-readable span tree with durations."""
+        lines: List[str] = []
+        for root in self.roots:
+            self._format_span(root, 0, lines)
+        return "\n".join(lines)
+
+    def _format_span(self, span: Span, depth: int, lines: List[str]) -> None:
+        attrs = " ".join(
+            f"{key}={value}" for key, value in sorted(span.attributes.items())
+        )
+        suffix = f"  [{attrs}]" if attrs else ""
+        lines.append(
+            f"{'  ' * depth}{span.name}: {span.duration * 1e3:.3f}ms{suffix}"
+        )
+        for child in span.children:
+            self._format_span(child, depth + 1, lines)
+
+
+class _NullSpanContext:
+    """Shared do-nothing span context (and span) for the null tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpanContext":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        return None
+
+    def set(self, **attributes: Any) -> "_NullSpanContext":
+        return self
+
+
+_NULL_SPAN = _NullSpanContext()
+
+
+class NullTracer:
+    """No-op tracer: ``span()`` returns a shared singleton context."""
+
+    enabled = False
+    roots: List[Span] = []
+
+    def span(self, name: str, **attributes: Any) -> _NullSpanContext:
+        return _NULL_SPAN
+
+    def walk(self) -> Iterator[Span]:
+        return iter(())
+
+    def find(self, name: str) -> List[Span]:
+        return []
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        return {"traceEvents": [], "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.to_chrome_trace(), handle)
+
+    def format_tree(self) -> str:
+        return ""
+
+
+#: Process-wide shared null tracer (safe: it holds no state).
+NULL_TRACER = NullTracer()
+
+
+def _jsonable(attributes: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce attribute values to JSON-safe scalars."""
+    safe: Dict[str, Any] = {}
+    for key, value in attributes.items():
+        if isinstance(value, (str, int, float, bool)) or value is None:
+            safe[key] = value
+        elif isinstance(value, (tuple, list, set, frozenset)):
+            safe[key] = [
+                v if isinstance(v, (str, int, float, bool)) else repr(v)
+                for v in value
+            ]
+        else:
+            safe[key] = repr(value)
+    return safe

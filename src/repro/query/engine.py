@@ -15,6 +15,15 @@ models):
 4. communication accounting records edges and sensors touched.
 
 A query *misses* when no region approximation exists (§5.5).
+
+Instrumentation: the engine accepts an
+:class:`~repro.obs.Instrumentation` bundle.  Every execution emits
+per-phase tracing spans (``query.resolve_junctions`` →
+``query.approximate_region`` → ``query.build_boundary`` →
+``query.integrate`` → ``query.account_sensors``) through its tracer
+and counts queries/misses/sensors in the process-global metrics
+registry; with ``provenance=True`` each result carries a
+:class:`~repro.obs.QueryProvenance` with the measured internals.
 """
 
 from __future__ import annotations
@@ -26,15 +35,19 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import QueryError
 from ..forms import EdgeCountStore
 from ..mobility import MobilityDomain
+from ..obs import Instrumentation, NULL_INSTRUMENTATION, QueryProvenance, get_registry
 from ..planar import NodeId
 from ..sampling import SensorNetwork
-from .result import LOWER, STATIC, TRANSIENT, UPPER, QueryResult, RangeQuery
+from .result import LOWER, TRANSIENT, QueryResult, RangeQuery
 
 #: How the static count of an interval query is evaluated from
 #: snapshot counts (Theorem 4.2 gives N(t_q) for any t_q):
 #: at the interval end (the paper's "up until t_q"), at the start, or
 #: conservatively as the min of both ends.
 STATIC_EVAL_MODES = ("end", "start", "min")
+
+#: The shared-structure caches of the batched path, in fill order.
+_BATCH_CACHES = ("junctions", "regions", "boundary", "sensors")
 
 
 @dataclass
@@ -49,12 +62,22 @@ class QueryEngine:
     #: baseline behave in Fig. 11c).
     access_mode: str = "perimeter"
     static_eval: str = "end"
+    #: Tracing/metrics/provenance bundle; ``None`` means the shared
+    #: no-op recorder.
+    instrumentation: Optional[Instrumentation] = None
 
     def __post_init__(self) -> None:
         if self.access_mode not in ("perimeter", "flood"):
             raise QueryError(f"unknown access_mode {self.access_mode!r}")
         if self.static_eval not in STATIC_EVAL_MODES:
             raise QueryError(f"unknown static_eval {self.static_eval!r}")
+        self.obs: Instrumentation = (
+            self.instrumentation
+            if self.instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        #: Metrics go to the registry current at construction time.
+        self._registry = get_registry()
 
     @property
     def domain(self) -> MobilityDomain:
@@ -63,24 +86,84 @@ class QueryEngine:
     # ------------------------------------------------------------------
     def execute(self, query: RangeQuery) -> QueryResult:
         """Execute one query; never raises on misses (reports them)."""
-        start = time.perf_counter()
-        junctions = self.domain.junctions_in_bbox(query.box)
-        if not junctions:
-            return self._miss(query, start)
+        tracer = self.obs.tracer
+        registry = self._registry
+        registry.counter(
+            "repro_queries_total",
+            help="Queries executed, by kind and bound",
+            kind=query.kind,
+            bound=query.bound,
+        ).inc()
+        pc = time.perf_counter
+        start = pc()
+        with tracer.span(
+            "query.execute", kind=query.kind, bound=query.bound
+        ) as qspan:
+            with tracer.span("query.resolve_junctions"):
+                junctions = self.domain.junctions_in_bbox(query.box)
+            t_junctions = pc()
+            if not junctions:
+                return self._miss(
+                    query, start, junction_count=0,
+                    phase_s={"resolve_junctions": t_junctions - start},
+                )
 
-        if query.bound == LOWER:
-            regions = self.network.lower_regions(junctions)
-        else:
-            regions, covered = self.network.upper_regions(junctions)
-            if not covered:
-                regions = []
-        if not regions:
-            return self._miss(query, start)
+            with tracer.span("query.approximate_region", bound=query.bound):
+                if query.bound == LOWER:
+                    regions = self.network.lower_regions(junctions)
+                else:
+                    regions, covered = self.network.upper_regions(junctions)
+                    if not covered:
+                        regions = []
+            t_regions = pc()
+            if not regions:
+                return self._miss(
+                    query, start, junction_count=len(junctions),
+                    phase_s={
+                        "resolve_junctions": t_junctions - start,
+                        "approximate_region": t_regions - t_junctions,
+                    },
+                )
 
-        boundary = self.network.region_boundary(regions)
-        value = self._integrate(boundary, query)
-        sensors = self._sensors_accessed(regions, boundary)
-        elapsed = time.perf_counter() - start
+            with tracer.span("query.build_boundary", regions=len(regions)):
+                boundary = self.network.region_boundary(regions)
+            t_boundary = pc()
+            with tracer.span("query.integrate", edges=len(boundary)):
+                value = self._integrate(boundary, query)
+            t_integrate = pc()
+            with tracer.span("query.account_sensors", mode=self.access_mode):
+                sensors = self._sensors_accessed(regions, boundary)
+            end = pc()
+            if tracer.enabled:
+                qspan.set(value=value, sensors=len(sensors))
+
+        elapsed = end - start
+        registry.counter(
+            "repro_query_sensors_accessed_total",
+            help="Communication sensors contacted by answered queries",
+        ).inc(len(sensors))
+        registry.counter(
+            "repro_query_edges_accessed_total",
+            help="Boundary walls integrated by answered queries",
+        ).inc(len(boundary))
+        registry.counter(
+            "repro_query_seconds_total",
+            help="Wall seconds spent executing queries",
+        ).inc(elapsed)
+        provenance = None
+        if self.obs.provenance:
+            provenance = QueryProvenance(
+                junction_count=len(junctions),
+                region_ids=tuple(regions),
+                boundary_length=len(boundary),
+                phase_s={
+                    "resolve_junctions": t_junctions - start,
+                    "approximate_region": t_regions - t_junctions,
+                    "build_boundary": t_boundary - t_regions,
+                    "integrate": t_integrate - t_boundary,
+                    "account_sensors": end - t_integrate,
+                },
+            )
         return QueryResult(
             query=query,
             value=value,
@@ -90,6 +173,7 @@ class QueryEngine:
             nodes_accessed=len(sensors),
             hops=len(boundary),
             elapsed=elapsed,
+            provenance=provenance,
         )
 
     def execute_many(
@@ -111,62 +195,180 @@ class QueryEngine:
         additionally amortise the boundary's merged timestamp series
         across every timestamp evaluated against it.  Results are
         identical to :meth:`execute_many`.
+
+        Timing attribution: shared cache-fill work is metered
+        *separately* from per-query work.  Each result's ``elapsed``
+        covers only the work done for that query (integration plus
+        cache lookups), so the first query for a ``(box, bound)`` is
+        directly comparable to later ones and to the Fig. 11d series;
+        the fill cost is accumulated in the
+        ``repro_query_batch_fill_seconds_total`` counter, in
+        ``batch.fill.*`` tracing spans and — with provenance enabled —
+        in the triggering result's ``provenance.shared_fill_s``.
+        Results whose shared structures all came from the caches are
+        flagged ``cache_served``.
         """
+        tracer = self.obs.tracer
+        registry = self._registry
+        with_provenance = self.obs.provenance
+        fill_seconds = registry.counter(
+            "repro_query_batch_fill_seconds_total",
+            help="Shared cache-fill seconds metered out of per-query "
+            "elapsed times in execute_batch",
+        )
+
+        def cache_event(cache: str, outcome: str):
+            registry.counter(
+                "repro_query_batch_cache_total",
+                help="Batch shared-structure cache hits and fills",
+                cache=cache,
+                outcome=outcome,
+            ).inc()
+
         junctions_by_box: Dict[object, Set[NodeId]] = {}
         # (box, bound) -> region tuple or None for a guaranteed miss.
         regions_cache: Dict[Tuple[object, str], Optional[Tuple[int, ...]]] = {}
         boundary_cache: Dict[Tuple[int, ...], list] = {}
         sensors_cache: Dict[Tuple[int, ...], int] = {}
         results: List[QueryResult] = []
-        for query in queries:
-            start = time.perf_counter()
-            box = query.box
-            junctions = junctions_by_box.get(box)
-            if junctions is None:
-                junctions = self.domain.junctions_in_bbox(box)
-                junctions_by_box[box] = junctions
-            if not junctions:
-                results.append(self._miss(query, start))
-                continue
-
-            region_key = (box, query.bound)
-            if region_key in regions_cache:
-                regions = regions_cache[region_key]
-            else:
-                if query.bound == LOWER:
-                    resolved = self.network.lower_regions(junctions)
+        pc = time.perf_counter
+        with tracer.span("query.execute_batch", queries=len(queries)):
+            for query in queries:
+                registry.counter(
+                    "repro_queries_total",
+                    help="Queries executed, by kind and bound",
+                    kind=query.kind,
+                    bound=query.bound,
+                ).inc()
+                start = pc()
+                shared = 0.0
+                hits: Dict[str, bool] = {}
+                box = query.box
+                junctions = junctions_by_box.get(box)
+                if junctions is None:
+                    t0 = pc()
+                    with tracer.span("batch.fill.junctions"):
+                        junctions = self.domain.junctions_in_bbox(box)
+                    junctions_by_box[box] = junctions
+                    shared += pc() - t0
+                    hits["junctions"] = False
+                    cache_event("junctions", "fill")
                 else:
-                    resolved, covered = self.network.upper_regions(junctions)
-                    if not covered:
-                        resolved = []
-                regions = tuple(resolved) if resolved else None
-                regions_cache[region_key] = regions
-            if regions is None:
-                results.append(self._miss(query, start))
-                continue
+                    hits["junctions"] = True
+                    cache_event("junctions", "hit")
+                if not junctions:
+                    results.append(
+                        self._miss(
+                            query, start, shared=shared,
+                            junction_count=0, cache_hits=hits,
+                        )
+                    )
+                    continue
 
-            chain_key = tuple(sorted(regions))
-            boundary = boundary_cache.get(chain_key)
-            if boundary is None:
-                boundary = self.network.region_boundary(regions)
-                boundary_cache[chain_key] = boundary
-            value = self._integrate(boundary, query)
-            n_sensors = sensors_cache.get(chain_key)
-            if n_sensors is None:
-                n_sensors = len(self._sensors_accessed(regions, boundary))
-                sensors_cache[chain_key] = n_sensors
-            results.append(
-                QueryResult(
-                    query=query,
-                    value=value,
-                    missed=False,
-                    regions=regions,
-                    edges_accessed=len(boundary),
-                    nodes_accessed=n_sensors,
-                    hops=len(boundary),
-                    elapsed=time.perf_counter() - start,
+                region_key = (box, query.bound)
+                if region_key in regions_cache:
+                    regions = regions_cache[region_key]
+                    hits["regions"] = True
+                    cache_event("regions", "hit")
+                else:
+                    t0 = pc()
+                    with tracer.span("batch.fill.regions", bound=query.bound):
+                        if query.bound == LOWER:
+                            resolved = self.network.lower_regions(junctions)
+                        else:
+                            resolved, covered = self.network.upper_regions(
+                                junctions
+                            )
+                            if not covered:
+                                resolved = []
+                        regions = tuple(resolved) if resolved else None
+                    regions_cache[region_key] = regions
+                    shared += pc() - t0
+                    hits["regions"] = False
+                    cache_event("regions", "fill")
+                if regions is None:
+                    results.append(
+                        self._miss(
+                            query, start, shared=shared,
+                            junction_count=len(junctions), cache_hits=hits,
+                        )
+                    )
+                    continue
+
+                chain_key = tuple(sorted(regions))
+                boundary = boundary_cache.get(chain_key)
+                if boundary is None:
+                    t0 = pc()
+                    with tracer.span("batch.fill.boundary"):
+                        boundary = self.network.region_boundary(regions)
+                    boundary_cache[chain_key] = boundary
+                    shared += pc() - t0
+                    hits["boundary"] = False
+                    cache_event("boundary", "fill")
+                else:
+                    hits["boundary"] = True
+                    cache_event("boundary", "hit")
+
+                t_pre_integrate = pc()
+                with tracer.span("query.integrate", edges=len(boundary)):
+                    value = self._integrate(boundary, query)
+                t_integrate = pc() - t_pre_integrate
+
+                n_sensors = sensors_cache.get(chain_key)
+                if n_sensors is None:
+                    t0 = pc()
+                    with tracer.span("batch.fill.sensors"):
+                        n_sensors = len(
+                            self._sensors_accessed(regions, boundary)
+                        )
+                    sensors_cache[chain_key] = n_sensors
+                    shared += pc() - t0
+                    hits["sensors"] = False
+                    cache_event("sensors", "fill")
+                else:
+                    hits["sensors"] = True
+                    cache_event("sensors", "hit")
+
+                elapsed = (pc() - start) - shared
+                fill_seconds.inc(shared)
+                registry.counter(
+                    "repro_query_sensors_accessed_total",
+                    help="Communication sensors contacted by answered "
+                    "queries",
+                ).inc(n_sensors)
+                registry.counter(
+                    "repro_query_edges_accessed_total",
+                    help="Boundary walls integrated by answered queries",
+                ).inc(len(boundary))
+                registry.counter(
+                    "repro_query_seconds_total",
+                    help="Wall seconds spent executing queries",
+                ).inc(elapsed)
+                provenance = None
+                if with_provenance:
+                    provenance = QueryProvenance(
+                        junction_count=len(junctions),
+                        region_ids=regions,
+                        boundary_length=len(boundary),
+                        cache_served=all(hits.values()),
+                        cache_hits=hits,
+                        shared_fill_s=shared,
+                        phase_s={"integrate": t_integrate},
+                    )
+                results.append(
+                    QueryResult(
+                        query=query,
+                        value=value,
+                        missed=False,
+                        regions=regions,
+                        edges_accessed=len(boundary),
+                        nodes_accessed=n_sensors,
+                        hops=len(boundary),
+                        elapsed=elapsed,
+                        cache_served=all(hits.values()),
+                        provenance=provenance,
+                    )
                 )
-            )
         return results
 
     # ------------------------------------------------------------------
@@ -221,10 +423,35 @@ class QueryEngine:
             )
         return blocks
 
-    def _miss(self, query: RangeQuery, start: float) -> QueryResult:
+    def _miss(
+        self,
+        query: RangeQuery,
+        start: float,
+        shared: float = 0.0,
+        junction_count: int = 0,
+        cache_hits: Optional[Dict[str, bool]] = None,
+        phase_s: Optional[Dict[str, float]] = None,
+    ) -> QueryResult:
+        self._registry.counter(
+            "repro_query_misses_total",
+            help="Queries with no region approximation, by kind and bound",
+            kind=query.kind,
+            bound=query.bound,
+        ).inc()
+        provenance = None
+        if self.obs.provenance:
+            provenance = QueryProvenance(
+                junction_count=junction_count,
+                cache_served=bool(cache_hits) and all(cache_hits.values()),
+                cache_hits=cache_hits or {},
+                shared_fill_s=shared,
+                phase_s=phase_s or {},
+            )
         return QueryResult(
             query=query,
             value=0.0,
             missed=True,
-            elapsed=time.perf_counter() - start,
+            elapsed=(time.perf_counter() - start) - shared,
+            cache_served=bool(cache_hits) and all(cache_hits.values()),
+            provenance=provenance,
         )

@@ -7,6 +7,7 @@ from typing import List, Optional, Tuple
 
 from ..errors import QueryError
 from ..geometry import BBox
+from ..obs import QueryProvenance
 
 #: Approximation modes of §4.6 (Fig. 7): R2 (maximal enclosed region)
 #: and R1 (minimal containing region).
@@ -64,8 +65,16 @@ class QueryResult:
     nodes_accessed: int = 0
     #: Hop proxy for in-network aggregation routing.
     hops: int = 0
-    #: Wall-clock evaluation time in seconds.
+    #: Wall-clock evaluation time in seconds.  Under batched execution
+    #: (:meth:`~repro.query.QueryEngine.execute_batch`) this excludes
+    #: shared cache-fill work, which is metered separately — see
+    #: ``cache_served`` and the attached provenance.
     elapsed: float = 0.0
+    #: True when the batched path served every shared structure this
+    #: query needed (regions/boundary/sensors) from its caches.
+    cache_served: bool = False
+    #: Opt-in measured internals (``Instrumentation(provenance=True)``).
+    provenance: Optional[QueryProvenance] = None
 
     def __post_init__(self) -> None:
         if self.missed and self.value:

@@ -26,6 +26,7 @@ from typing import Union
 from ..errors import QueryError, SelectionError
 from ..forms import CompiledTrackingForm, TrackingForm
 from ..mobility import EXT, MobilityDomain
+from ..obs import get_registry
 from ..planar import NodeId, canonical_edge
 from ..trajectories import CrossingEvent, EventColumns
 from .connectivity import knn_edges, triangulation_edges
@@ -184,6 +185,16 @@ class SensorNetwork:
     ) -> CompiledTrackingForm:
         """Vectorised ingestion of a columnar event stream."""
         observed = columns.filter_edges(self._wall_lookup())
+        registry = get_registry()
+        registry.counter(
+            "repro_ingest_builds_total",
+            help="Tracking-form builds, by ingestion path",
+            path="columnar",
+        ).inc()
+        registry.counter(
+            "repro_ingest_events_observed_total",
+            help="Events landing on a monitored wall during form builds",
+        ).inc(len(observed.t))
         return CompiledTrackingForm(
             columns.interner,
             observed.edge_id,
@@ -198,9 +209,21 @@ class SensorNetwork:
         columnar path against, and for ad-hoc row-wise streams)."""
         form = TrackingForm()
         walls = self.walls
+        observed = 0
         for event in events:
             if canonical_edge(event.tail, event.head) in walls:
                 form.record(event.tail, event.head, event.t)
+                observed += 1
+        registry = get_registry()
+        registry.counter(
+            "repro_ingest_builds_total",
+            help="Tracking-form builds, by ingestion path",
+            path="loop",
+        ).inc()
+        registry.counter(
+            "repro_ingest_events_observed_total",
+            help="Events landing on a monitored wall during form builds",
+        ).inc(observed)
         return form
 
     def _wall_lookup(self) -> np.ndarray:

@@ -150,3 +150,40 @@ class TestNetworkSimulator:
         # The walk sends one message per sensor plus 2 server legs,
         # always fewer than 2 per sensor.
         assert walk.messages < fanout.messages
+
+    @pytest.mark.parametrize("strategy", ["server_fanout", "perimeter_walk"])
+    def test_load_sums_to_messages(self, sampled_net, strategy):
+        simulator = NetworkSimulator(sampled_net)
+        sensors = list(sampled_net.sensors[:7])
+        report = simulator.dispatch(sensors, strategy=strategy)
+        assert sum(report.load.values()) == report.messages
+
+    def test_dispatch_metrics_match_report(self, sampled_net):
+        from repro.obs import use_registry
+
+        with use_registry() as registry:
+            simulator = NetworkSimulator(sampled_net)
+            sensors = list(sampled_net.sensors[:6])
+            fanout = simulator.dispatch(sensors, strategy="server_fanout")
+            walks = [
+                simulator.dispatch(sensors, strategy="perimeter_walk")
+                for _ in range(3)
+            ]
+        for strategy, reports in (
+            ("server_fanout", [fanout]),
+            ("perimeter_walk", walks),
+        ):
+            assert registry.value(
+                "repro_sim_dispatches_total", strategy=strategy
+            ) == len(reports)
+            assert registry.value(
+                "repro_sim_messages_total", strategy=strategy
+            ) == sum(r.messages for r in reports)
+            assert registry.value(
+                "repro_sim_hops_total", strategy=strategy
+            ) == sum(r.hops for r in reports)
+            hist = registry.histogram(
+                "repro_sim_messages", strategy=strategy
+            )
+            assert hist.count == len(reports)
+            assert hist.sum == sum(r.messages for r in reports)

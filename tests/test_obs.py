@@ -1,0 +1,484 @@
+"""Unit and integration tests for the repro.obs observability layer.
+
+Covers the tracer (nesting, Chrome export, tree rendering), the metrics
+registry (instruments, exports, global swap), logging (byte-identical
+default output), provenance-carrying query execution, the batched
+elapsed-time attribution fix, and the CLI's ``--trace``/``--metrics``
+acceptance path.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import time
+
+import pytest
+
+from repro.geometry import BBox
+from repro.obs import (
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTATION,
+    NULL_REGISTRY,
+    NULL_TRACER,
+    Tracer,
+    configure_logging,
+    get_logger,
+    get_registry,
+    kv,
+    set_registry,
+    use_registry,
+)
+from repro.query import LOWER, QueryEngine, RangeQuery, TRANSIENT, UPPER
+
+
+# ----------------------------------------------------------------------
+# Tracing
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_nesting_follows_with_blocks(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner.a"):
+                pass
+            with tracer.span("inner.b"):
+                pass
+        (root,) = tracer.roots
+        assert root.name == "outer"
+        assert [c.name for c in root.children] == ["inner.a", "inner.b"]
+        assert root.duration >= sum(c.duration for c in root.children)
+
+    def test_attributes_and_set(self):
+        tracer = Tracer()
+        with tracer.span("op", n=3) as span:
+            span.set(result="ok")
+        assert tracer.roots[0].attributes == {"n": 3, "result": "ok"}
+
+    def test_find_and_walk(self):
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+        with tracer.span("b"):
+            pass
+        assert len(tracer.find("b")) == 2
+        assert [s.name for s in tracer.walk()] == ["a", "b", "b"]
+
+    def test_exception_closes_dangling_spans(self):
+        tracer = Tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("outer"):
+                ctx = tracer.span("leaked")
+                ctx.__enter__()
+                raise RuntimeError("boom")
+        for span in tracer.walk():
+            assert span.end is not None
+
+    def test_chrome_trace_export(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("outer", kind="demo"):
+            with tracer.span("inner"):
+                pass
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        doc = json.loads(path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert [e["name"] for e in events] == ["outer", "inner"]
+        outer, inner = events
+        assert outer["ph"] == "X" and inner["ph"] == "X"
+        assert outer["args"] == {"kind": "demo"}
+        # Child interval contained in the parent's.
+        assert outer["ts"] <= inner["ts"]
+        assert inner["ts"] + inner["dur"] <= outer["ts"] + outer["dur"] + 1e-6
+
+    def test_chrome_trace_coerces_attributes(self):
+        tracer = Tracer()
+        with tracer.span("op", ids=(1, 2), obj=object()):
+            pass
+        args = tracer.to_chrome_trace()["traceEvents"][0]["args"]
+        assert args["ids"] == [1, 2]
+        assert isinstance(args["obj"], str)
+
+    def test_format_tree(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner", n=1):
+                pass
+        tree = tracer.format_tree()
+        lines = tree.splitlines()
+        assert lines[0].startswith("outer:")
+        assert lines[1].startswith("  inner:")
+        assert "[n=1]" in lines[1]
+
+    def test_null_tracer_is_inert(self, tmp_path):
+        assert NULL_TRACER.enabled is False
+        with NULL_TRACER.span("anything", n=1) as span:
+            span.set(more=2)
+        assert NULL_TRACER.find("anything") == []
+        assert NULL_TRACER.to_chrome_trace() == {
+            "traceEvents": [],
+            "displayTimeUnit": "ms",
+        }
+        assert NULL_TRACER.format_tree() == ""
+        path = tmp_path / "null.json"
+        NULL_TRACER.export_chrome(path)
+        assert json.loads(path.read_text())["traceEvents"] == []
+
+
+# ----------------------------------------------------------------------
+# Metrics
+# ----------------------------------------------------------------------
+class TestMetricsRegistry:
+    def test_counter_memoised_and_labelled(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", kind="x")
+        a.inc()
+        a.inc(2)
+        assert registry.counter("c_total", kind="x") is a
+        assert registry.value("c_total", kind="x") == 3
+        assert registry.value("c_total", kind="y") == 0
+        registry.counter("c_total", kind="y").inc(5)
+        assert registry.sum_values("c_total") == 8
+
+    def test_counter_rejects_negative(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().counter("c").inc(-1)
+
+    def test_gauge(self):
+        registry = MetricsRegistry()
+        g = registry.gauge("g")
+        g.set(10)
+        g.inc(-3)
+        assert registry.value("g") == 7
+
+    def test_histogram_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", buckets=(1, 10, 100))
+        for v in (0.5, 5, 50, 5000):
+            h.observe(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(5055.5)
+        assert h.cumulative() == [
+            (1, 1),
+            (10, 2),
+            (100, 3),
+            (float("inf"), 4),
+        ]
+
+    def test_prometheus_export(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", help="a counter", kind="x").inc(2)
+        registry.gauge("g").set(1.5)
+        registry.histogram("h", buckets=(1, 2)).observe(1)
+        text = registry.to_prometheus()
+        assert "# HELP c_total a counter" in text
+        assert "# TYPE c_total counter" in text
+        assert 'c_total{kind="x"} 2' in text
+        assert "g 1.5" in text
+        assert 'h_bucket{le="1"} 1' in text
+        assert 'h_bucket{le="+Inf"} 1' in text
+        assert "h_sum 1" in text
+        assert "h_count 1" in text
+
+    def test_json_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", kind="x").inc()
+        snap = registry.to_json()
+        assert snap["counters"] == {'c_total{kind="x"}': 1}
+
+    def test_use_registry_swaps_and_restores(self):
+        before = get_registry()
+        with use_registry() as fresh:
+            assert get_registry() is fresh
+            get_registry().counter("inside").inc()
+        assert get_registry() is before
+        assert before.value("inside") == 0
+
+    def test_set_registry_returns_previous(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+
+    def test_null_registry_is_inert(self):
+        NULL_REGISTRY.counter("c").inc(5)
+        NULL_REGISTRY.gauge("g").set(3)
+        NULL_REGISTRY.histogram("h").observe(1)
+        assert NULL_REGISTRY.value("c") == 0
+        assert NULL_REGISTRY.to_prometheus() == ""
+        assert NULL_REGISTRY.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+# ----------------------------------------------------------------------
+# Logging
+# ----------------------------------------------------------------------
+@pytest.fixture()
+def default_logging():
+    """Restore default verbosity after each logging test."""
+    yield
+    configure_logging(0)
+
+
+class TestLogging:
+    def test_default_output_matches_print(self, capsys, default_logging):
+        configure_logging(0)
+        get_logger("t").info("hello world")
+        assert capsys.readouterr().out == "hello world\n"
+
+    def test_debug_hidden_by_default(self, capsys, default_logging):
+        configure_logging(0)
+        get_logger("t").debug("invisible")
+        assert capsys.readouterr().out == ""
+
+    def test_quiet_suppresses_info(self, capsys, default_logging):
+        configure_logging(-1)
+        log = get_logger("t")
+        log.info("hidden")
+        log.warning("shown")
+        assert capsys.readouterr().out == "shown\n"
+
+    def test_verbose_prefixes_records(self, capsys, default_logging):
+        configure_logging(1)
+        get_logger("t").debug("detail")
+        assert capsys.readouterr().out == "D repro.t: detail\n"
+
+    def test_kv_rendering(self):
+        assert kv(a=1, rate=0.25, name="x") == "a=1 rate=0.25 name=x"
+        assert kv(msg="two words") == "msg='two words'"
+
+
+# ----------------------------------------------------------------------
+# Instrumentation bundle
+# ----------------------------------------------------------------------
+class TestInstrumentation:
+    def test_null_bundle_inactive(self):
+        assert Instrumentation.off() is NULL_INSTRUMENTATION
+        assert not NULL_INSTRUMENTATION.active
+        assert not NULL_INSTRUMENTATION.tracer.enabled
+
+    def test_on_builds_live_bundle(self):
+        obs = Instrumentation.on(provenance=True)
+        assert obs.active
+        assert obs.tracer.enabled
+        assert obs.metrics is get_registry()
+
+
+# ----------------------------------------------------------------------
+# Provenance + batched attribution (the execute_batch fix)
+# ----------------------------------------------------------------------
+class _SlowNetwork:
+    """Delegating wrapper that makes region resolution measurably slow."""
+
+    def __init__(self, inner, delay: float) -> None:
+        self._inner = inner
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+    def lower_regions(self, junctions):
+        time.sleep(self._delay)
+        return self._inner.lower_regions(junctions)
+
+
+class TestBatchAttribution:
+    DELAY = 0.05
+
+    def _queries(self, workload, n=3):
+        t2 = 0.5 * workload.horizon
+        return [RangeQuery(BBox(2, 2, 8, 8), 0.0, t2) for _ in range(n)]
+
+    def test_shared_fill_metered_separately(
+        self, sampled_net, sampled_form, workload
+    ):
+        queries = self._queries(workload)
+        with use_registry() as registry:
+            engine = QueryEngine(
+                _SlowNetwork(sampled_net, self.DELAY),
+                sampled_form,
+                instrumentation=Instrumentation.on(provenance=True),
+            )
+            results = engine.execute_batch(queries)
+        first, *rest = results
+        assert not first.cache_served
+        assert all(r.cache_served for r in rest)
+        # The slow region fill is excluded from every per-query elapsed,
+        # including the query that triggered it.
+        for result in results:
+            assert result.elapsed < self.DELAY
+        assert first.provenance.shared_fill_s >= self.DELAY
+        assert (
+            registry.value("repro_query_batch_fill_seconds_total")
+            >= self.DELAY
+        )
+        assert registry.value(
+            "repro_query_batch_cache_total", cache="regions", outcome="fill"
+        ) == 1
+        assert registry.value(
+            "repro_query_batch_cache_total", cache="regions", outcome="hit"
+        ) == len(rest)
+        for result in rest:
+            assert result.provenance.cache_hits == {
+                "junctions": True,
+                "regions": True,
+                "boundary": True,
+                "sensors": True,
+            }
+
+    def test_batch_identical_to_many_under_instrumentation(
+        self, sampled_net, sampled_form, workload
+    ):
+        t2 = 0.5 * workload.horizon
+        queries = [
+            RangeQuery(BBox(2, 2, 8, 8), 0.0, t2, bound=LOWER),
+            RangeQuery(BBox(2, 2, 8, 8), 0.0, t2, bound=UPPER),
+            RangeQuery(BBox(1, 1, 9, 9), 0.2 * t2, t2, kind=TRANSIENT),
+            RangeQuery(BBox(2, 2, 8, 8), 0.0, t2, bound=LOWER),
+            RangeQuery(BBox(0.01, 0.01, 0.02, 0.02), 0.0, t2),
+        ]
+        with use_registry():
+            engine = QueryEngine(
+                sampled_net,
+                sampled_form,
+                instrumentation=Instrumentation.on(provenance=True),
+            )
+            batch = engine.execute_batch(queries)
+            many = engine.execute_many(queries)
+        assert len(batch) == len(many)
+        for b, m in zip(batch, many):
+            assert b.missed == m.missed
+            assert b.value == m.value
+            assert tuple(sorted(b.regions)) == tuple(sorted(m.regions))
+            assert b.edges_accessed == m.edges_accessed
+            assert b.nodes_accessed == m.nodes_accessed
+
+    def test_execute_provenance_phases(
+        self, sampled_net, sampled_form, workload
+    ):
+        engine = QueryEngine(
+            sampled_net,
+            sampled_form,
+            instrumentation=Instrumentation.on(provenance=True),
+        )
+        t2 = 0.5 * workload.horizon
+        result = engine.execute(RangeQuery(BBox(2, 2, 8, 8), 0.0, t2))
+        assert not result.missed
+        prov = result.provenance
+        assert prov is not None
+        assert not prov.cache_served
+        assert prov.junction_count > 0
+        assert prov.boundary_length == result.edges_accessed
+        assert set(prov.phase_s) == {
+            "resolve_junctions",
+            "approximate_region",
+            "build_boundary",
+            "integrate",
+            "account_sensors",
+        }
+        assert sum(prov.phase_s.values()) <= result.elapsed + 1e-6
+
+    def test_default_engine_attaches_no_provenance(
+        self, sampled_net, sampled_form, workload
+    ):
+        engine = QueryEngine(sampled_net, sampled_form)
+        t2 = 0.5 * workload.horizon
+        result = engine.execute(RangeQuery(BBox(2, 2, 8, 8), 0.0, t2))
+        assert result.provenance is None
+        assert not result.cache_served
+
+
+# ----------------------------------------------------------------------
+# CLI acceptance: demo --trace/--metrics
+# ----------------------------------------------------------------------
+class TestDemoObservability:
+    @pytest.fixture(scope="class")
+    def demo_run(self, tmp_path_factory):
+        from repro.__main__ import main
+
+        tmp_path = tmp_path_factory.mktemp("demo-obs")
+        trace_path = tmp_path / "trace.json"
+        metrics_path = tmp_path / "metrics.prom"
+        import io
+        from contextlib import redirect_stdout
+
+        buffer = io.StringIO()
+        with redirect_stdout(buffer):
+            status = main(
+                [
+                    "demo",
+                    "--blocks", "60",
+                    "--trips", "200",
+                    "--fraction", "0.4",
+                    "--seed", "1",
+                    "--trace", str(trace_path),
+                    "--metrics", str(metrics_path),
+                ]
+            )
+        assert status == 0
+        return buffer.getvalue(), trace_path, metrics_path
+
+    def test_trace_is_valid_chrome_json(self, demo_run):
+        _, trace_path, _ = demo_run
+        doc = json.loads(trace_path.read_text())
+        events = doc["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["dur"] >= 0
+            assert {"name", "ts", "pid", "tid"} <= set(event)
+
+    def test_trace_nests_deploy_ingest_query(self, demo_run):
+        _, trace_path, _ = demo_run
+        events = json.loads(trace_path.read_text())["traceEvents"]
+        by_name = {}
+        for event in events:
+            by_name.setdefault(event["name"], []).append(event)
+        for name in ("planarize", "deploy", "ingest", "query.execute"):
+            assert name in by_name, f"missing span {name}"
+
+        def contained(child, parent):
+            return (
+                parent["ts"] - 1e-3 <= child["ts"]
+                and child["ts"] + child["dur"]
+                <= parent["ts"] + parent["dur"] + 1e-3
+            )
+
+        (deploy,) = by_name["deploy"]
+        assert any(
+            contained(e, deploy) for e in by_name["deploy.select_sensors"]
+        )
+        (ingest,) = by_name["ingest"]
+        assert any(
+            contained(e, ingest) for e in by_name["ingest.build_form"]
+        )
+        assert all(
+            any(contained(e, q) for q in by_name["query.execute"])
+            for e in by_name["query.integrate"]
+        )
+
+    def test_metrics_match_printed_numbers(self, demo_run):
+        out, _, metrics_path = demo_run
+        text = metrics_path.read_text()
+        ingested = int(
+            re.search(r"ingested: (\d+) crossing events", out).group(1)
+        )
+        assert f"repro_events_ingested_total {ingested}" in text
+        deployed = int(re.search(r"deployed: (\d+) sensors", out).group(1))
+        assert f"repro_deployed_sensors {deployed}" in text
+        # The demo runs exactly two queries: approximate + exact.
+        totals = re.findall(r"^repro_queries_total\{[^}]*\} (\d+)$",
+                            text, flags=re.M)
+        assert sum(int(v) for v in totals) == 2
+
+    def test_trace_and_metrics_paths_reported(self, demo_run):
+        out, trace_path, metrics_path = demo_run
+        assert f"trace: wrote {trace_path}" in out
+        assert f"metrics: wrote {metrics_path}" in out
