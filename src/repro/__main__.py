@@ -87,11 +87,24 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     n_events = framework.ingest_trips(workload.trips)
     log.info(f"ingested: {n_events} crossing events")
 
+    injector = None
+    if args.faults > 0:
+        from repro.network import FaultConfig
+
+        injector = framework.fault_injector(
+            FaultConfig(seed=args.seed,
+                        sensor_failure_rate=args.faults,
+                        drop_rate=args.faults / 2)
+        )
+        log.info(f"faults: {args.faults:.0%} sensor failure, "
+                 f"{args.faults / 2:.0%} message drop "
+                 f"({len(injector.crashed)} sensors down)")
+
     box = BBox.from_center(domain.bounds.center,
                            domain.bounds.width * 0.45,
                            domain.bounds.height * 0.45)
     t2 = 18 * 3600.0
-    approx = framework.query(box, 0.0, t2)
+    approx = framework.query(box, 0.0, t2, faults=injector)
     exact = framework.query_exact(box, 0.0, t2)
     if approx.missed:
         log.info("query: lower bound missed (increase --fraction)")
@@ -102,6 +115,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                  f"exact {exact.value:.0f} (err {error:.1%}); "
                  f"{approx.nodes_accessed} sensors contacted vs "
                  f"{exact.nodes_accessed} flooded")
+        if approx.degradation is not None:
+            d = approx.degradation
+            log.info(f"degraded: {len(d.skipped_sensors)} sensors skipped, "
+                     f"{d.lost_walls}/{d.boundary_walls} walls lost "
+                     f"(error bound ±{d.error_bound:.0f}, "
+                     f"{d.detours} detours, {d.server_stitches} stitches)")
         if approx.provenance is not None:
             log.debug("query provenance %s", kv(
                 junctions=approx.provenance.junction_count,
@@ -179,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                       choices=["exact", "linear", "polynomial",
                                "piecewise", "histogram"])
     demo.add_argument("--seed", type=int, default=7)
+    demo.add_argument("--faults", type=float, default=0.0, metavar="P",
+                      help="inject faults: P is the sensor crash rate "
+                           "(P/2 becomes the per-message drop rate); "
+                           "the query then runs fault-tolerantly and "
+                           "reports its degradation bound")
     demo.add_argument("--trace", metavar="PATH", default=None,
                       help="write Chrome trace-viewer JSON of the run")
     demo.add_argument("--metrics", metavar="PATH", default=None,

@@ -24,6 +24,7 @@ from ..errors import ConfigurationError, QueryError
 from ..forms import EdgeCountStore, TrackingForm
 from ..geometry import BBox
 from ..mobility import MobilityDomain, voronoi_strata
+from ..network import FaultConfig, FaultInjector, RetryPolicy
 from ..models import (
     LinearModel,
     ModeledCountStore,
@@ -240,6 +241,14 @@ class InNetworkFramework:
     # ------------------------------------------------------------------
     # Querying
     # ------------------------------------------------------------------
+    def fault_injector(
+        self, config: FaultConfig = FaultConfig()
+    ) -> FaultInjector:
+        """Seeded fault schedule over the deployed network's sensors."""
+        if self.network is None:
+            raise QueryError("deploy() first")
+        return FaultInjector.for_network(self.network, config)
+
     def query(
         self,
         box: BBox,
@@ -247,12 +256,26 @@ class InNetworkFramework:
         t2: float,
         kind: str = STATIC,
         bound: str = LOWER,
+        faults: Optional[FaultInjector] = None,
+        dispatch_strategy: str = "perimeter_walk",
+        retry_policy: Optional[RetryPolicy] = None,
     ) -> QueryResult:
-        """Answer a range count query on the deployed sampled network."""
+        """Answer a range count query on the deployed sampled network.
+
+        With a ``faults`` injector the dispatch is simulated
+        fault-tolerantly: the result may be a partial aggregate flagged
+        ``approximate`` carrying a :class:`~repro.query.QueryDegradation`
+        error bound.
+        """
         if self.network is None or self._store is None:
             raise QueryError("deploy() and ingest first")
         engine = QueryEngine(
-            self.network, self._store, instrumentation=self.obs
+            self.network,
+            self._store,
+            instrumentation=self.obs,
+            faults=faults,
+            dispatch_strategy=dispatch_strategy,
+            retry_policy=retry_policy,
         )
         return engine.execute(RangeQuery(box, t1, t2, kind=kind, bound=bound))
 

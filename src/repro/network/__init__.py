@@ -1,12 +1,26 @@
-"""In-network communication simulation and energy accounting (S11)."""
+"""In-network communication simulation, fault injection and energy
+accounting (S11)."""
 
 from .energy import EnergyModel, EnergyReport, RadioParameters
-from .simulator import CommunicationReport, NetworkSimulator
+from .faults import FaultConfig, FaultInjector, RetryPolicy
+from .simulator import (
+    CommunicationReport,
+    DEGRADATION_BUCKETS,
+    DegradedReport,
+    NetworkSimulator,
+    default_server_position,
+)
 
 __all__ = [
     "CommunicationReport",
+    "DEGRADATION_BUCKETS",
+    "DegradedReport",
     "EnergyModel",
     "EnergyReport",
+    "FaultConfig",
+    "FaultInjector",
     "NetworkSimulator",
     "RadioParameters",
+    "RetryPolicy",
+    "default_server_position",
 ]

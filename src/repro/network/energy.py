@@ -26,6 +26,7 @@ from ..geometry import Point, distance
 from ..planar import canonical_edge
 from ..sampling import SensorNetwork
 from ..trajectories import CrossingEvent
+from .simulator import default_server_position
 
 
 @dataclass(frozen=True)
@@ -83,23 +84,13 @@ class EnergyModel:
     ) -> None:
         self.network = network
         self.radio = radio
-        bounds = network.domain.bounds
-        # Default server location: just outside the north-east corner.
-        self.server_position = server_position or (
-            bounds.max_x + 0.2 * bounds.width,
-            bounds.max_y + 0.2 * bounds.height,
+        # Default server location: just outside the north-east corner
+        # (the shared helper, so the simulator's hop accounting and
+        # this model's distance accounting describe the same legs).
+        self.server_position = server_position or default_server_position(
+            network.domain
         )
-        self._mean_hop = self._mean_neighbor_distance()
-
-    def _mean_neighbor_distance(self) -> float:
-        dual = self.network.domain.dual
-        total, count = 0.0, 0
-        for left, right in dual.edge_faces.values():
-            if left == right or dual.outer_node in (left, right):
-                continue
-            total += distance(dual.position(left), dual.position(right))
-            count += 1
-        return total / count if count else 1.0
+        self._mean_hop = network.domain.dual.mean_interior_edge_length()
 
     def _sensor_position(self, wall: Tuple) -> Point:
         """Position of the sensor detecting a wall crossing (midpoint
@@ -170,19 +161,33 @@ class EnergyModel:
     def query_energy(
         self, perimeter_sensors: Iterable[int], hops_between: int = 1
     ) -> float:
-        """Energy of one perimeter-walk query dispatch (§4.6)."""
+        """Energy of one perimeter-walk query dispatch (§4.6).
+
+        Every transmission is paired with its receive: the first
+        perimeter sensor pays ``receive()`` for the server's incoming
+        request, each relay leg pays per-hop transmit + receive, and
+        the server pays the final ``receive()`` for the last sensor's
+        reply — so per-query energy is symmetric with the per-hop legs
+        rather than silently dropping the two endpoint receives.
+        """
         sensors = list(dict.fromkeys(perimeter_sensors))
         if not sensors:
             return 0.0
         dual = self.network.domain.dual
         first = dual.position(sensors[0])
         last = dual.position(sensors[-1])
+        # Server -> first sensor: long-range transmit, received by the
+        # first perimeter sensor.
         energy = self.radio.transmit(distance(self.server_position, first))
+        energy += self.radio.receive()
         for a, b in zip(sensors, sensors[1:]):
             d = distance(dual.position(a), dual.position(b))
             steps = max(int(round(d / self._mean_hop)), 1) * hops_between
             energy += steps * (
                 self.radio.transmit(self._mean_hop) + self.radio.receive()
             )
+        # Last sensor -> server: long-range transmit, received by the
+        # server.
         energy += self.radio.transmit(distance(last, self.server_position))
+        energy += self.radio.receive()
         return energy

@@ -78,6 +78,31 @@ class DualGraph:
     def neighbors(self, node: int) -> Set[int]:
         return set(self._adjacency.get(node, ()))
 
+    def mean_interior_edge_length(self) -> float:
+        """Mean Euclidean length of interior dual edges (cached).
+
+        The shared hop-length statistic of the communication modules:
+        both :class:`repro.network.NetworkSimulator` and
+        :class:`repro.network.EnergyModel` convert Euclidean distances
+        into hop counts / per-hop energies using this value, so the two
+        accountings cannot drift.  Bridges (same face on both sides)
+        and edges touching the infinity node are excluded; degenerate
+        duals fall back to 1.0.
+        """
+        cached = getattr(self, "_mean_interior_edge_length", None)
+        if cached is None:
+            total, count = 0.0, 0
+            for left, right in self.edge_faces.values():
+                if left == right or self.outer_node in (left, right):
+                    continue
+                total += distance(
+                    self.node_positions[left], self.node_positions[right]
+                )
+                count += 1
+            cached = (total / count) if count else 1.0
+            self._mean_interior_edge_length = cached
+        return cached
+
     def crossing_edge(self, a: int, b: int) -> Edge:
         """Representative primal edge crossed when moving face a -> b."""
         try:

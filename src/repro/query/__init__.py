@@ -1,12 +1,22 @@
 """Query regions, the query engine and results (system S9)."""
 
 from .continuous import ContinuousCountMonitor, RegionState
-from .engine import STATIC_EVAL_MODES, QueryEngine
-from .result import LOWER, STATIC, TRANSIENT, UPPER, QueryResult, RangeQuery
+from .engine import DISPATCH_STRATEGIES, STATIC_EVAL_MODES, QueryEngine
+from .result import (
+    LOWER,
+    STATIC,
+    TRANSIENT,
+    UPPER,
+    QueryDegradation,
+    QueryResult,
+    RangeQuery,
+)
 
 __all__ = [
     "ContinuousCountMonitor",
+    "DISPATCH_STRATEGIES",
     "LOWER",
+    "QueryDegradation",
     "QueryEngine",
     "QueryResult",
     "RangeQuery",

@@ -28,6 +28,7 @@ registry; with ``provenance=True`` each result carries a
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
@@ -35,10 +36,25 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from ..errors import QueryError
 from ..forms import EdgeCountStore
 from ..mobility import MobilityDomain
+from ..network.faults import FaultInjector, RetryPolicy
+from ..network.simulator import (
+    DEGRADATION_BUCKETS,
+    DegradedReport,
+    NetworkSimulator,
+)
 from ..obs import Instrumentation, NULL_INSTRUMENTATION, QueryProvenance, get_registry
 from ..planar import NodeId
 from ..sampling import SensorNetwork
-from .result import LOWER, TRANSIENT, QueryResult, RangeQuery
+from .result import (
+    LOWER,
+    TRANSIENT,
+    QueryDegradation,
+    QueryResult,
+    RangeQuery,
+)
+
+#: Dispatch strategies a fault-aware engine may simulate (§4.6).
+DISPATCH_STRATEGIES = ("perimeter_walk", "server_fanout")
 
 #: How the static count of an interval query is evaluated from
 #: snapshot counts (Theorem 4.2 gives N(t_q) for any t_q):
@@ -65,12 +81,26 @@ class QueryEngine:
     #: Tracing/metrics/provenance bundle; ``None`` means the shared
     #: no-op recorder.
     instrumentation: Optional[Instrumentation] = None
+    #: Fault injector; when set, answered queries are dispatched
+    #: through a fault-tolerant :class:`~repro.network.NetworkSimulator`
+    #: and may return partial aggregates flagged ``approximate`` with a
+    #: :class:`~repro.query.QueryDegradation` bound.
+    faults: Optional[FaultInjector] = None
+    #: Strategy simulated for fault-aware dispatch (§4.6).
+    dispatch_strategy: str = "perimeter_walk"
+    #: Retry/timeout/backoff of the fault-aware dispatch; ``None``
+    #: means the :class:`~repro.network.RetryPolicy` defaults.
+    retry_policy: Optional[RetryPolicy] = None
 
     def __post_init__(self) -> None:
         if self.access_mode not in ("perimeter", "flood"):
             raise QueryError(f"unknown access_mode {self.access_mode!r}")
         if self.static_eval not in STATIC_EVAL_MODES:
             raise QueryError(f"unknown static_eval {self.static_eval!r}")
+        if self.dispatch_strategy not in DISPATCH_STRATEGIES:
+            raise QueryError(
+                f"unknown dispatch_strategy {self.dispatch_strategy!r}"
+            )
         self.obs: Instrumentation = (
             self.instrumentation
             if self.instrumentation is not None
@@ -78,6 +108,16 @@ class QueryEngine:
         )
         #: Metrics go to the registry current at construction time.
         self._registry = get_registry()
+        self._simulator: Optional[NetworkSimulator] = None
+        if self.faults is not None:
+            self._simulator = NetworkSimulator(
+                self.network,
+                instrumentation=self.obs,
+                faults=self.faults,
+                retry=self.retry_policy
+                if self.retry_policy is not None
+                else RetryPolicy(),
+            )
 
     @property
     def domain(self) -> MobilityDomain:
@@ -133,15 +173,33 @@ class QueryEngine:
             t_integrate = pc()
             with tracer.span("query.account_sensors", mode=self.access_mode):
                 sensors = self._sensors_accessed(regions, boundary)
+            nodes_accessed = len(sensors)
+            approximate = False
+            degradation = None
+            if self._simulator is not None and sensors:
+                with tracer.span(
+                    "query.fault_dispatch", strategy=self.dispatch_strategy
+                ):
+                    report = self._simulator.dispatch(
+                        sorted(sensors), strategy=self.dispatch_strategy
+                    )
+                    nodes_accessed = report.sensors_contacted
+                    if report.skipped_sensors:
+                        value, degradation = self._degrade(
+                            boundary, query, report
+                        )
+                        approximate = degradation.lost_walls > 0
             end = pc()
             if tracer.enabled:
                 qspan.set(value=value, sensors=len(sensors))
 
         elapsed = end - start
+        if degradation is not None:
+            self._record_degradation(degradation)
         registry.counter(
             "repro_query_sensors_accessed_total",
             help="Communication sensors contacted by answered queries",
-        ).inc(len(sensors))
+        ).inc(nodes_accessed)
         registry.counter(
             "repro_query_edges_accessed_total",
             help="Boundary walls integrated by answered queries",
@@ -170,10 +228,12 @@ class QueryEngine:
             missed=False,
             regions=tuple(regions),
             edges_accessed=len(boundary),
-            nodes_accessed=len(sensors),
+            nodes_accessed=nodes_accessed,
             hops=len(boundary),
             elapsed=elapsed,
             provenance=provenance,
+            approximate=approximate,
+            degradation=degradation,
         )
 
     def execute_many(
@@ -207,7 +267,14 @@ class QueryEngine:
         in the triggering result's ``provenance.shared_fill_s``.
         Results whose shared structures all came from the caches are
         flagged ``cache_served``.
+
+        Fault-aware engines fall back to sequential :meth:`execute`:
+        degraded dispatch depends on the live per-query sensor set and
+        the injector's attempt stream, which the shared caches cannot
+        reproduce.
         """
+        if self._simulator is not None:
+            return self.execute_many(queries)
         tracer = self.obs.tracer
         registry = self._registry
         with_provenance = self.obs.provenance
@@ -382,6 +449,101 @@ class QueryEngine:
         for region in result.regions:
             covered |= self.network.region_junctions(region)
         return covered
+
+    # ------------------------------------------------------------------
+    # Fault-aware dispatch (graceful degradation)
+    # ------------------------------------------------------------------
+    def _degrade(
+        self,
+        boundary,
+        query: RangeQuery,
+        report: DegradedReport,
+    ) -> Tuple[float, QueryDegradation]:
+        """Partial aggregate + error bound after a degraded dispatch.
+
+        A boundary wall is *lost* when every sensor owning it was
+        skipped by the dispatch — its signed contribution never joins
+        the aggregate.  The degraded value integrates only the reached
+        walls; the bound charges each lost wall the largest per-wall
+        magnitude observed among the reached walls (plus one count of
+        slack), which contains the true error whenever the lost walls
+        are no heavier than the heaviest reached one.
+        """
+        skipped = set(report.skipped_sensors)
+        network = self.network
+        reached: List = []
+        lost = 0
+        for edge in boundary:
+            owners = network.wall_sensors(*edge)
+            if owners and owners <= skipped:
+                lost += 1
+            else:
+                reached.append(edge)
+
+        store = self.store
+        if query.kind == TRANSIENT:
+            contributions = [
+                store.net_between(edge, query.t1, query.t2)
+                for edge in reached
+            ]
+            value = float(sum(contributions))
+            magnitudes = [abs(c) for c in contributions]
+        else:
+            at_start = [store.net_until(edge, query.t1) for edge in reached]
+            at_end = [store.net_until(edge, query.t2) for edge in reached]
+            if self.static_eval == "start":
+                value = float(sum(at_start))
+                magnitudes = [abs(c) for c in at_start]
+            elif self.static_eval == "end":
+                value = float(sum(at_end))
+                magnitudes = [abs(c) for c in at_end]
+            else:
+                value = float(min(sum(at_start), sum(at_end)))
+                magnitudes = [abs(c) for c in at_start + at_end]
+
+        if lost == 0:
+            bound = 0.0
+        elif magnitudes:
+            bound = lost * (max(magnitudes) + 1.0)
+        else:
+            bound = math.inf  # nothing reached: the error is unbounded
+        degradation = QueryDegradation(
+            skipped_sensors=report.skipped_sensors,
+            lost_walls=lost,
+            boundary_walls=len(boundary),
+            error_bound=bound,
+            coverage=(
+                (len(boundary) - lost) / len(boundary) if boundary else 0.0
+            ),
+            strategy=report.strategy,
+            detours=report.detours,
+            server_stitches=report.server_stitches,
+            retries=report.retries,
+            drops=report.drops,
+        )
+        return value, degradation
+
+    def _record_degradation(self, degradation: QueryDegradation) -> None:
+        registry = self._registry
+        if degradation.lost_walls:
+            registry.counter(
+                "repro_query_degraded_total",
+                help="Answered queries that lost part of their boundary "
+                "aggregate to faults",
+                strategy=degradation.strategy,
+            ).inc()
+        registry.histogram(
+            "repro_query_degradation",
+            buckets=DEGRADATION_BUCKETS,
+            help="Lost share of the boundary chain per degraded query",
+            strategy=degradation.strategy,
+        ).observe(degradation.lost_fraction)
+        if math.isfinite(degradation.error_bound):
+            registry.histogram(
+                "repro_query_degradation_bound",
+                help="Absolute count-error bound of degraded queries",
+                strategy=degradation.strategy,
+            ).observe(degradation.error_bound)
 
     # ------------------------------------------------------------------
     def _integrate(self, boundary, query: RangeQuery) -> float:

@@ -50,6 +50,48 @@ class RangeQuery:
         return RangeQuery(self.box, self.t1, self.t2, kind, self.bound)
 
 
+@dataclass(frozen=True)
+class QueryDegradation:
+    """Fault outcome of a query dispatched over a failing network.
+
+    Attached to :class:`QueryResult` when fault injection skipped part
+    of the perimeter.  ``error_bound`` is the *computable* bound on the
+    absolute count error: the boundary walls whose owning sensors were
+    all skipped contribute nothing to the partial aggregate, and each
+    can contribute at most the largest per-wall magnitude observed on
+    the reached walls (plus one count of slack per lost wall) — so
+    ``|exact_fault_free - degraded| <= error_bound`` whenever the lost
+    walls are no heavier than the heaviest reached wall.
+    """
+
+    #: Perimeter sensors whose partial aggregates are missing.
+    skipped_sensors: Tuple[int, ...]
+    #: Boundary walls lost because every owning sensor was skipped.
+    lost_walls: int
+    #: Total boundary walls of the query's region approximation.
+    boundary_walls: int
+    #: Bound on the absolute count error of the degraded value.
+    error_bound: float
+    #: Fraction of boundary walls still aggregated into the value.
+    coverage: float
+    #: Dispatch strategy that produced this outcome.
+    strategy: str = "perimeter_walk"
+    #: Skip-ahead detours taken by the perimeter walk.
+    detours: int = 0
+    #: Server-mediated stitches of broken walk segments.
+    server_stitches: int = 0
+    #: Contact retries and message drops during the dispatch.
+    retries: int = 0
+    drops: int = 0
+
+    @property
+    def lost_fraction(self) -> float:
+        """Lost walls' share of the boundary chain."""
+        if not self.boundary_walls:
+            return 0.0
+        return self.lost_walls / self.boundary_walls
+
+
 @dataclass
 class QueryResult:
     """Outcome of executing a query on one sensing configuration."""
@@ -75,7 +117,17 @@ class QueryResult:
     cache_served: bool = False
     #: Opt-in measured internals (``Instrumentation(provenance=True)``).
     provenance: Optional[QueryProvenance] = None
+    #: True when the value is a partial aggregate: fault injection
+    #: skipped perimeter sensors, so part of the boundary integral is
+    #: missing (bounded by ``degradation.error_bound``).
+    approximate: bool = False
+    #: Fault outcome; None when the dispatch lost nothing.
+    degradation: Optional[QueryDegradation] = None
 
     def __post_init__(self) -> None:
         if self.missed and self.value:
             raise QueryError("a missed query cannot carry a count")
+        if self.approximate and self.degradation is None:
+            raise QueryError(
+                "an approximate result must carry its degradation"
+            )

@@ -260,23 +260,26 @@ class SensorNetwork:
     # ------------------------------------------------------------------
     # Accounting (communication-cost proxies, §4.9)
     # ------------------------------------------------------------------
-    def sensors_for_boundary(
-        self, boundary: Sequence[DirectedEdge]
-    ) -> Set[int]:
-        """Communication sensors that must be contacted for a boundary.
+    def wall_sensors(self, u: NodeId, v: NodeId) -> Set[int]:
+        """Communication sensors responsible for one wall.
 
-        Sampled networks map each wall to the sensors owning the routed
+        Sampled networks map the wall to the sensors owning the routed
         edge it belongs to; wall-only configurations fall back to the
         blocks incident to the wall.
         """
+        wall = canonical_edge(u, v)
+        owners = self.wall_owners.get(wall)
+        if owners:
+            return set(owners)
+        return self._incident_blocks(wall)
+
+    def sensors_for_boundary(
+        self, boundary: Sequence[DirectedEdge]
+    ) -> Set[int]:
+        """Communication sensors that must be contacted for a boundary."""
         contacted: Set[int] = set()
         for u, v in boundary:
-            wall = canonical_edge(u, v)
-            owners = self.wall_owners.get(wall)
-            if owners:
-                contacted.update(owners)
-            else:
-                contacted.update(self._incident_blocks(wall))
+            contacted.update(self.wall_sensors(u, v))
         return contacted
 
     def _incident_blocks(self, wall: Wall) -> Set[int]:
