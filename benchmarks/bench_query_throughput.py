@@ -1,0 +1,312 @@
+"""Query throughput: single vs batched execution, python vs compiled.
+
+The tentpole claim of the compiled query planner: resolving queries
+through the CSR network indexes (bincount region approximation,
+signed-scatter boundary cancellation, id-native chain integration)
+beats the reference Python path.  The acceptance bar is >= 3x batched
+query throughput over the PR 3 baseline — the sequential per-query
+python-planner path (``planner="python"`` + ``execute_many``), which
+is how every battery ran before the planner landed — at DEFAULT scale.
+
+Measures the full grid:
+
+====================  ============================================
+cell                  what it is
+====================  ============================================
+python / single       the PR 3 baseline read path
+python / batch        shared-structure caches, python resolution
+compiled / single     CSR planner, no cross-query sharing
+compiled / batch      the full fast path (headline number)
+====================  ============================================
+
+Runs two ways:
+
+- under pytest-benchmark with the other figure benches
+  (``pytest benchmarks/bench_query_throughput.py``);
+- standalone (``python benchmarks/bench_query_throughput.py``),
+  which measures the requested scale, prints the grid and can update
+  the committed ``benchmarks/BENCH_query.json`` artifact (``--write``).
+  ``--smoke`` is the CI gate: it measures the default scale (the full
+  run takes seconds — the scene build dominates, not the queries) and
+  exits non-zero if the compiled batched path regressed more than 2x
+  against the committed artifact or its speedup over the in-run
+  python/single baseline fell below the 3x acceptance floor.
+
+The small scale is kept measurable (``--scale smoke``) because it
+documents the crossover: at 80 blocks the per-query fixed costs
+dominate and the compiled path only roughly ties the python one —
+the vectorisation pays off with network size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # standalone invocation without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.evaluation import DEFAULT_CONFIG, SMALL_CONFIG
+from repro.evaluation.harness import PipelineConfig
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, organic_city
+from repro.query import LOWER, STATIC, TRANSIENT, UPPER, QueryEngine, RangeQuery
+from repro.sampling import sampled_network
+from repro.selection import QuadTreeSelector, SensorCandidates
+from repro.trajectories import EventColumns, WorkloadConfig, generate_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_query.json"
+
+#: Sampled-network size fraction (matches the ingest benchmark).
+SAMPLED_FRACTION = 0.256
+
+#: Distinct query rectangles; each expands to kind x bound = 4 queries.
+N_BOXES = 100
+
+#: Smoke gate: fail if compiled/batch queries/sec drops below
+#: committed / 2.
+REGRESSION_FACTOR = 2.0
+
+#: Acceptance floor at the default scale: compiled/batch must stay
+#: >= 3x the in-run python/single baseline (the PR 3 read path).
+SPEEDUP_FLOOR = 3.0
+
+#: The scale the CI gate measures — the acceptance bar is defined at
+#: the default scale, and the whole run is seconds.
+GATE_SCALE = "default"
+
+SCALES = {"smoke": SMALL_CONFIG, "default": DEFAULT_CONFIG}
+
+CELLS = (
+    ("python", "single"),
+    ("python", "batch"),
+    ("compiled", "single"),
+    ("compiled", "batch"),
+)
+
+
+def build_scene(config: PipelineConfig):
+    """Domain + compiled form + a mixed query battery."""
+    rng = np.random.default_rng(config.road_seed)
+    domain = MobilityDomain(organic_city(blocks=config.blocks, rng=rng))
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(
+            n_trips=config.n_trips,
+            horizon_days=config.horizon_days,
+            mean_dwell=config.mean_dwell,
+            seed=config.trip_seed,
+        ),
+    )
+    columns = EventColumns.from_events(domain, workload.events(domain))
+    m = max(int(round(SAMPLED_FRACTION * domain.block_count)), 2)
+    chosen = QuadTreeSelector().select(
+        SensorCandidates.from_domain(domain),
+        min(m, domain.block_count),
+        np.random.default_rng(1),
+    )
+    network = sampled_network(domain, chosen, name=f"quadtree-m{m}")
+    form = network.build_form(columns)
+    queries = make_battery(domain, workload.horizon)
+    return network, form, queries
+
+
+def make_battery(domain, horizon, n_boxes: int = N_BOXES):
+    """Random rectangles x {static, transient} x {lower, upper}."""
+    rng = np.random.default_rng(99)
+    bounds = domain.bounds
+    queries = []
+    for _ in range(n_boxes):
+        w = rng.uniform(0.1, 0.6) * bounds.width
+        h = rng.uniform(0.1, 0.6) * bounds.height
+        box = BBox.from_center(
+            (rng.uniform(bounds.min_x, bounds.max_x),
+             rng.uniform(bounds.min_y, bounds.max_y)), w, h,
+        )
+        t1 = rng.uniform(0.0, horizon * 0.6)
+        t2 = t1 + rng.uniform(0.0, horizon * 0.4)
+        for kind in (STATIC, TRANSIENT):
+            for bound in (LOWER, UPPER):
+                queries.append(RangeQuery(box, t1, t2, kind=kind, bound=bound))
+    return queries
+
+
+def measure(scale: str, repeats: int) -> dict:
+    """Best-of-N timings for every planner x mode cell."""
+    config = SCALES[scale]
+    network, form, queries = build_scene(config)
+
+    entry = {
+        "scale": scale,
+        "blocks": config.blocks,
+        "n_trips": config.n_trips,
+        "n_queries": len(queries),
+        "cells": {},
+    }
+    reference = None
+    for planner, mode in CELLS:
+        engine = QueryEngine(network, form, planner=planner)
+        run = (
+            engine.execute_batch if mode == "batch" else engine.execute_many
+        )
+        results = run(queries)  # warm: index build + chain compilation
+        best = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            results = run(queries)
+            elapsed = time.perf_counter() - t0
+            best = elapsed if best is None else min(best, elapsed)
+        answered = sum(1 for r in results if not r.missed)
+        if reference is None:
+            reference = [
+                (r.value, r.missed, r.regions) for r in results
+            ]
+        else:  # every cell must agree with the python/single reference
+            assert [
+                (r.value, r.missed, r.regions) for r in results
+            ] == reference, f"{planner}/{mode} diverged from the baseline"
+        entry["cells"][f"{planner}/{mode}"] = {
+            "seconds": best,
+            "queries_per_s": len(queries) / best,
+            "answered": answered,
+        }
+    baseline = entry["cells"]["python/single"]["queries_per_s"]
+    headline = entry["cells"]["compiled/batch"]["queries_per_s"]
+    entry["speedup"] = headline / baseline
+    return entry
+
+
+def format_entry(entry: dict) -> str:
+    lines = [
+        f"scale={entry['scale']}  blocks={entry['blocks']}  "
+        f"trips={entry['n_trips']}  queries={entry['n_queries']} "
+        f"(answered {entry['cells']['python/single']['answered']})",
+        f"{'cell':<18} {'time':>10} {'queries/s':>12}",
+    ]
+    for cell, c in entry["cells"].items():
+        lines.append(
+            f"{cell:<18} {c['seconds'] * 1e3:>8.1f}ms "
+            f"{c['queries_per_s']:>12,.0f}"
+        )
+    lines.append(
+        f"compiled/batch speedup over python/single (PR 3 baseline): "
+        f"{entry['speedup']:.2f}x"
+    )
+    return "\n".join(lines)
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {"schema": 1, "entries": {}}
+
+
+def check_regression(entry: dict, baseline: dict) -> int:
+    """CI gate: compiled/batch throughput + the 3x acceptance floor."""
+    committed = baseline.get("entries", {}).get(entry["scale"])
+    if committed is None:
+        print(
+            f"no committed baseline for scale {entry['scale']!r}; "
+            "run with --write first",
+            file=sys.stderr,
+        )
+        return 1
+    status = 0
+    reference = committed["cells"]["compiled/batch"]["queries_per_s"]
+    got = entry["cells"]["compiled/batch"]["queries_per_s"]
+    floor = reference / REGRESSION_FACTOR
+    verdict = "ok" if got >= floor else "REGRESSION"
+    print(
+        f"compiled/batch: {got:,.0f} queries/s "
+        f"(committed {reference:,.0f}, floor {floor:,.0f}) {verdict}"
+    )
+    if got < floor:
+        status = 1
+    if entry["scale"] == GATE_SCALE:
+        verdict = "ok" if entry["speedup"] >= SPEEDUP_FLOOR else "REGRESSION"
+        print(
+            f"speedup over python/single: {entry['speedup']:.2f}x "
+            f"(floor {SPEEDUP_FLOOR:.1f}x) {verdict}"
+        )
+        if entry["speedup"] < SPEEDUP_FLOOR:
+            status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="pipeline scale to measure (default: default)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: measure the default scale and fail on a >2x "
+        "compiled/batch throughput regression against the committed "
+        "BENCH_query.json or a speedup below the 3x acceptance floor",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="update the measured scale's entry in BENCH_query.json",
+    )
+    parser.add_argument("--repeats", type=int, default=5)
+    args = parser.parse_args(argv)
+
+    scale = GATE_SCALE if args.smoke else args.scale
+    entry = measure(scale, args.repeats)
+    print(format_entry(entry))
+
+    status = 0
+    if args.smoke and not args.write:
+        status = check_regression(entry, load_baseline())
+    if args.write:
+        baseline = load_baseline()
+        baseline["entries"][scale] = entry
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return status
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point (shares the cached default pipeline)
+# ----------------------------------------------------------------------
+def bench_query_throughput(benchmark):
+    from _common import emit, pipeline
+
+    p = pipeline()
+    network = p.network(
+        "quadtree", p.budget_for_fraction(SAMPLED_FRACTION), seed=1
+    )
+    form = p.form(network)
+    queries = make_battery(p.domain, p.horizon, n_boxes=40)
+    compiled = QueryEngine(network, form, planner="compiled")
+    python = QueryEngine(network, form, planner="python")
+    compiled.execute_batch(queries)
+
+    t0 = time.perf_counter()
+    python.execute_many(queries)
+    single_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    compiled.execute_batch(queries)
+    batch_s = time.perf_counter() - t0
+    emit(
+        "query_throughput",
+        "Query throughput: python/single vs compiled/batch",
+        f"queries={len(queries)}  python/single={single_s * 1e3:.1f}ms  "
+        f"compiled/batch={batch_s * 1e3:.1f}ms  "
+        f"speedup={single_s / batch_s:.1f}x",
+    )
+    benchmark.pedantic(
+        lambda: compiled.execute_batch(queries), rounds=3, iterations=1
+    )
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -71,7 +71,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     budget = max(int(domain.block_count * args.fraction), 2)
     network = framework.deploy(
         FrameworkConfig(selector=args.selector, budget=budget,
-                        store=args.store, seed=args.seed)
+                        store=args.store, planner=args.planner,
+                        seed=args.seed)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -197,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--store", default="exact",
                       choices=["exact", "linear", "polynomial",
                                "piecewise", "histogram"])
+    demo.add_argument("--planner", default="auto",
+                      choices=["auto", "compiled", "python"],
+                      help="query resolution pipeline: compiled CSR "
+                           "indexes or the reference python path "
+                           "(auto compiles when the store supports it)")
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--faults", type=float, default=0.0, metavar="P",
                       help="inject faults: P is the sensor crash rate "

@@ -17,7 +17,9 @@ class FrameworkConfig:
     ``connectivity`` is ``triangulation`` or ``knn`` (§4.5);
     ``store`` picks the count representation: ``exact`` timestamps or
     one of the learned models (``linear``, ``polynomial``,
-    ``piecewise``, ``histogram``) from §4.8.
+    ``piecewise``, ``histogram``) from §4.8.  ``planner`` picks the
+    query resolution pipeline: ``auto`` (compiled whenever the store
+    supports id-native integration), ``compiled`` or ``python``.
     """
 
     selector: str = "quadtree"
@@ -25,6 +27,7 @@ class FrameworkConfig:
     connectivity: str = "triangulation"
     knn_k: int = 5
     store: str = "exact"
+    planner: str = "auto"
     seed: int = 0
 
     _SELECTORS = (
@@ -57,6 +60,11 @@ class FrameworkConfig:
         if self.store not in self._STORES:
             raise ConfigurationError(
                 f"unknown store {self.store!r}; choose from {self._STORES}"
+            )
+        if self.planner not in ("auto", "compiled", "python"):
+            raise ConfigurationError(
+                f"unknown planner {self.planner!r}; "
+                "choose from ('auto', 'compiled', 'python')"
             )
         if self.budget < 2:
             raise ConfigurationError("budget must be at least 2 sensors")

@@ -272,6 +272,7 @@ class InNetworkFramework:
         engine = QueryEngine(
             self.network,
             self._store,
+            planner=self.config.planner if self.config is not None else "auto",
             instrumentation=self.obs,
             faults=faults,
             dispatch_strategy=dispatch_strategy,

@@ -319,11 +319,13 @@ class Pipeline:
         network: SensorNetwork,
         store=None,
         access_mode: str = "perimeter",
+        planner: str = "auto",
     ) -> QueryEngine:
         return QueryEngine(
             network,
             store if store is not None else self.form(network),
             access_mode=access_mode,
+            planner=planner,
             instrumentation=self.obs,
         )
 

@@ -19,7 +19,8 @@ right-continuous ``<= t`` semantics on the same ``float64`` timestamps.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, Iterator, List, Sequence, Tuple
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Sequence, Tuple
 
 import numpy as np
 
@@ -31,6 +32,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..planar import EdgeInterner
 
 
+#: Default cap of the compiled-boundary LRU cache.  Generous: the
+#: standard figure batteries compile a few hundred distinct chains, but
+#: ad-hoc workloads with unbounded distinct rectangles must not grow
+#: the cache without limit.
+DEFAULT_BOUNDARY_CACHE_SIZE = 4096
+
+
 class CompiledTrackingForm:
     """CSR-compiled γ⁺/γ⁻ timestamp store with batched integration."""
 
@@ -40,12 +48,15 @@ class CompiledTrackingForm:
         edge_id: np.ndarray,
         direction: np.ndarray,
         t: np.ndarray,
+        boundary_cache_size: int = DEFAULT_BOUNDARY_CACHE_SIZE,
     ) -> None:
         """Compile from columnar event arrays (``t`` sorted ascending).
 
         ``direction`` follows the :class:`~repro.trajectories.EventColumns`
         convention: 0 = along the canonical edge orientation (γ⁺ of the
-        canonical direction), 1 = against it.
+        canonical direction), 1 = against it.  ``boundary_cache_size``
+        caps the compiled-boundary LRU cache (least recently integrated
+        chains are evicted first; 0 disables caching entirely).
         """
         self._interner = interner
         # Number of ids frozen at compile time; the shared interner may
@@ -76,10 +87,14 @@ class CompiledTrackingForm:
         self._values = (values[0], values[1])
         self._offsets = (offsets[0], offsets[1])
 
-        #: Compiled boundary chains: tuple(chain) -> (times, prefix).
-        self._boundaries: Dict[
-            Tuple[DirectedEdge, ...], Tuple[np.ndarray, np.ndarray]
-        ] = {}
+        #: Compiled boundary chains, LRU-ordered (least recently used
+        #: first).  Keys are either ``tuple(chain)`` of directed edges
+        #: (legacy path) or the ``(wall_ids, signs)`` byte digest of an
+        #: id-native chain; values are ``(times, prefix)``.
+        self._boundaries: "OrderedDict[object, Tuple[np.ndarray, np.ndarray]]" = (
+            OrderedDict()
+        )
+        self._boundary_cache_size = int(boundary_cache_size)
 
         # Instrument references are bound to the registry current at
         # compile time (swap the global registry before building the
@@ -98,6 +113,11 @@ class CompiledTrackingForm:
             "repro_csr_boundary_cache_total",
             help="Boundary-chain compilations by cache outcome",
             outcome="hit",
+        )
+        self._metric_boundary_evictions = registry.counter(
+            "repro_csr_boundary_cache_total",
+            help="Boundary-chain compilations by cache outcome",
+            outcome="evict",
         )
 
     # ------------------------------------------------------------------
@@ -164,6 +184,48 @@ class CompiledTrackingForm:
     # ------------------------------------------------------------------
     # Batched region integration
     # ------------------------------------------------------------------
+    def _cache_get(self, key) -> Tuple[np.ndarray, np.ndarray]:
+        compiled = self._boundaries.get(key)
+        if compiled is not None:
+            self._boundaries.move_to_end(key)
+            self._metric_boundary_hits.inc()
+        return compiled
+
+    def _cache_put(self, key, compiled) -> None:
+        self._metric_boundary_compiles.inc()
+        cap = self._boundary_cache_size
+        if cap <= 0:
+            return
+        self._boundaries[key] = compiled
+        while len(self._boundaries) > cap:
+            self._boundaries.popitem(last=False)
+            self._metric_boundary_evictions.inc()
+
+    @property
+    def boundary_cache_size(self) -> int:
+        """Configured LRU cap of the compiled-boundary cache."""
+        return self._boundary_cache_size
+
+    @property
+    def boundary_cache_len(self) -> int:
+        """Compiled chains currently cached."""
+        return len(self._boundaries)
+
+    @staticmethod
+    def _merge_series(
+        parts: List[np.ndarray], signs: List[np.ndarray]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        if parts:
+            times = np.concatenate(parts)
+            weights = np.concatenate(signs)
+            order = np.argsort(times, kind="stable")
+            times = times[order]
+            prefix = np.concatenate(([0], np.cumsum(weights[order])))
+        else:
+            times = _EMPTY
+            prefix = np.zeros(1, dtype=np.int64)
+        return (times, prefix)
+
     def compile_boundary(
         self, edges: Sequence[DirectedEdge]
     ) -> Tuple[np.ndarray, np.ndarray]:
@@ -176,11 +238,9 @@ class CompiledTrackingForm:
         edges)`` — the whole chain integrates with one binary search.
         """
         key = tuple(edges)
-        compiled = self._boundaries.get(key)
+        compiled = self._cache_get(key)
         if compiled is not None:
-            self._metric_boundary_hits.inc()
             return compiled
-        self._metric_boundary_compiles.inc()
         parts: List[np.ndarray] = []
         signs: List[np.ndarray] = []
         for edge in key:
@@ -192,18 +252,76 @@ class CompiledTrackingForm:
             if len(leaving):
                 parts.append(leaving)
                 signs.append(-np.ones(len(leaving), dtype=np.int64))
-        if parts:
-            times = np.concatenate(parts)
-            weights = np.concatenate(signs)
-            order = np.argsort(times, kind="stable")
-            times = times[order]
-            prefix = np.concatenate(([0], np.cumsum(weights[order])))
-        else:
-            times = _EMPTY
-            prefix = np.zeros(1, dtype=np.int64)
-        compiled = (times, prefix)
-        self._boundaries[key] = compiled
+        compiled = self._merge_series(parts, signs)
+        self._cache_put(key, compiled)
         return compiled
+
+    def compile_boundary_ids(
+        self, wall_ids: np.ndarray, signs: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Id-native :meth:`compile_boundary` (cached on a byte digest).
+
+        ``wall_ids`` are interned canonical-edge ids, ``signs`` is +1
+        where the chain traverses the canonical orientation and -1
+        against it.  The cache key is the raw bytes of both arrays —
+        no per-edge tuple hashing — so repeated integrations of the
+        same chain cost two ``tobytes`` calls and one dict hit.
+        """
+        wall_ids = np.ascontiguousarray(wall_ids)
+        chain_signs = np.ascontiguousarray(signs)
+        # The itemsizes disambiguate byte-identical arrays of different
+        # widths (e.g. int64 [1] vs int32 [1, 0]).
+        key = (
+            wall_ids.tobytes(),
+            chain_signs.tobytes(),
+            wall_ids.dtype.itemsize,
+            chain_signs.dtype.itemsize,
+        )
+        compiled = self._cache_get(key)
+        if compiled is not None:
+            return compiled
+        wall_ids = wall_ids.astype(np.int64)
+        chain_signs = chain_signs.astype(np.int64)
+        # Edges interned after compile time have no recorded events.
+        known = wall_ids < self._n_ids
+        if not known.all():
+            wall_ids = wall_ids[known]
+            chain_signs = chain_signs[known]
+        parts: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        for d, polarity in ((0, 1), (1, -1)):
+            offsets = self._offsets[d]
+            starts = offsets[wall_ids]
+            lens = offsets[wall_ids + 1] - starts
+            total = int(lens.sum())
+            if total == 0:
+                continue
+            shift = np.concatenate(([0], np.cumsum(lens)[:-1]))
+            take = np.repeat(starts - shift, lens) + np.arange(total)
+            parts.append(self._values[d][take])
+            weights.append(np.repeat(polarity * chain_signs, lens))
+        compiled = self._merge_series(parts, weights)
+        self._cache_put(key, compiled)
+        return compiled
+
+    def integrate_until_ids(
+        self, wall_ids: np.ndarray, signs: np.ndarray, t: float
+    ) -> int:
+        """Theorem 4.2 over an id-native chain in one searchsorted."""
+        times, prefix = self.compile_boundary_ids(wall_ids, signs)
+        self._metric_searchsorted.inc()
+        return int(prefix[np.searchsorted(times, t, side="right")])
+
+    def integrate_between_ids(
+        self, wall_ids: np.ndarray, signs: np.ndarray, t1: float, t2: float
+    ) -> int:
+        """Theorem 4.3 over an id-native chain in one searchsorted."""
+        if t2 < t1:
+            raise QueryError(f"inverted time interval [{t1}, {t2}]")
+        times, prefix = self.compile_boundary_ids(wall_ids, signs)
+        self._metric_searchsorted.inc()
+        lo, hi = np.searchsorted(times, (t1, t2), side="right")
+        return int(prefix[hi] - prefix[lo])
 
     def integrate_until(
         self, edges: Iterable[DirectedEdge], t: float

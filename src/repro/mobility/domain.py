@@ -42,6 +42,9 @@ EXT: str = "__ext__"
 
 DirectedEdge = Tuple[NodeId, NodeId]
 
+#: Shared empty result of rectangle probes that bound no junctions.
+_EMPTY_IDS = np.empty(0, dtype=np.int32)
+
 
 class MobilityDomain:
     """Immutable bundle of the mobility graph and derived structures."""
@@ -65,6 +68,17 @@ class MobilityDomain:
         from scipy.spatial import cKDTree
 
         self._tree = cKDTree(self._positions)
+
+        # Sorted-coordinate bbox index: junction indices ordered by x,
+        # with the matching x/y coordinate arrays.  Rectangle probes
+        # binary-search the x range and mask the y coordinates of that
+        # slice only, returning int32 junction-index arrays — the
+        # array-native counterpart of :meth:`junctions_in_bbox` used by
+        # the compiled query planner.
+        order = np.argsort(self._positions[:, 0], kind="stable")
+        self._bbox_order = order.astype(np.int32)
+        self._bbox_x = np.ascontiguousarray(self._positions[order, 0])
+        self._bbox_y = np.ascontiguousarray(self._positions[order, 1])
 
         self.boundary_junctions: List[NodeId] = self._outer_cycle_nodes()
         self._entry_predecessor = self._boundary_tree()
@@ -94,21 +108,38 @@ class MobilityDomain:
     def position(self, junction: NodeId) -> Point:
         return self.graph.position(junction)
 
+    @property
+    def junction_index(self) -> Dict[NodeId, int]:
+        """Junction → dense index into :attr:`junctions` (do not mutate)."""
+        return self._junction_index
+
     def nearest_junction(self, point: Point) -> NodeId:
         _, index = self._tree.query(np.asarray(point, dtype=float))
         return self.junctions[int(index)]
 
     def junctions_in_bbox(self, box: BBox) -> Set[NodeId]:
         """All junctions whose coordinates fall inside the rectangle."""
-        x = self._positions[:, 0]
-        y = self._positions[:, 1]
-        mask = (
-            (x >= box.min_x)
-            & (x <= box.max_x)
-            & (y >= box.min_y)
-            & (y <= box.max_y)
-        )
-        return {self.junctions[i] for i in np.nonzero(mask)[0]}
+        junctions = self.junctions
+        return {junctions[i] for i in self.junction_ids_in_bbox(box)}
+
+    def junction_ids_in_bbox(self, box: BBox) -> np.ndarray:
+        """Junction *indices* inside the rectangle, ascending ``int32``.
+
+        Indices refer to :attr:`junctions` order.  Served by the
+        sorted-coordinate index: two binary searches bound the x range,
+        one vectorised mask filters its y coordinates.  Bounds are
+        inclusive on every side, exactly like :meth:`junctions_in_bbox`.
+        """
+        lo = int(np.searchsorted(self._bbox_x, box.min_x, side="left"))
+        hi = int(np.searchsorted(self._bbox_x, box.max_x, side="right"))
+        if lo >= hi:
+            return _EMPTY_IDS
+        ys = self._bbox_y[lo:hi]
+        hits = self._bbox_order[lo:hi][
+            (ys >= box.min_y) & (ys <= box.max_y)
+        ]
+        hits.sort()
+        return hits
 
     # ------------------------------------------------------------------
     # Sensing-edge topology (including the EXT geofence)

@@ -1,7 +1,13 @@
 """Query regions, the query engine and results (system S9)."""
 
 from .continuous import ContinuousCountMonitor, RegionState
-from .engine import DISPATCH_STRATEGIES, STATIC_EVAL_MODES, QueryEngine
+from .engine import (
+    DISPATCH_STRATEGIES,
+    PLANNER_MODES,
+    STATIC_EVAL_MODES,
+    QueryEngine,
+)
+from .planner import BoundaryChain, CompiledQueryPlanner
 from .result import (
     LOWER,
     STATIC,
@@ -13,9 +19,12 @@ from .result import (
 )
 
 __all__ = [
+    "BoundaryChain",
+    "CompiledQueryPlanner",
     "ContinuousCountMonitor",
     "DISPATCH_STRATEGIES",
     "LOWER",
+    "PLANNER_MODES",
     "QueryDegradation",
     "QueryEngine",
     "QueryResult",

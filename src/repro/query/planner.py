@@ -1,0 +1,256 @@
+"""The compiled query planner: vectorised region→boundary resolution.
+
+The Python read path resolves every query through per-query sets and
+dicts: a fresh junction set per rectangle, a Python subset test per
+candidate region, wall-by-wall boundary loops and ``tuple(edges)``
+cache keys.  :class:`CompiledQueryPlanner` re-expresses the whole
+pipeline over the int32/CSR indexes a
+:class:`~repro.sampling.SensorNetwork` compiles on first use
+(:meth:`~repro.sampling.SensorNetwork.compiled_index`):
+
+1. rectangle → junction *index array* via the domain's
+   sorted-coordinate bbox index (no set materialisation);
+2. lower-bound region approximation by membership counting — a region
+   is fully enclosed iff its ``np.bincount`` of in-bbox junctions
+   equals its size; the upper bound is one ``np.unique`` over the
+   touched regions;
+3. boundary-chain cancellation by wall-id occurrence counting over the
+   selected regions' concatenated CSR wall slices — interior walls
+   appear exactly twice (once per adjacent selected region) and drop
+   out, mirroring the chain cancellation of the boundary operator;
+4. sensor accounting by one CSR gather + ``np.unique`` over the
+   wall→owner table (or the junction→block table in flood mode);
+5. integration through the count store's id-native fast path
+   (:meth:`~repro.forms.CompiledTrackingForm.integrate_until_ids`)
+   keyed on a wall-id digest, falling back to decoded directed edges
+   for stores without one.
+
+Every step is exactly result-equivalent to the Python path — same
+values, misses, region ids, edge/sensor/hop accounting — which the
+randomized cross-check suite in ``tests/test_query_planner.py``
+asserts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..sampling import SensorNetwork
+from .result import LOWER, RangeQuery, TRANSIENT
+
+DirectedEdge = Tuple[object, object]
+
+_EMPTY_I32 = np.empty(0, dtype=np.int32)
+_EMPTY_I8 = np.empty(0, dtype=np.int8)
+_EMPTY_TAKE = np.empty(0, dtype=np.int64)
+
+
+def _csr_take(offsets: np.ndarray, rows: np.ndarray) -> np.ndarray:
+    """Index array selecting ``offsets[r]:offsets[r+1]`` per row."""
+    starts = offsets[rows]
+    lens = offsets[rows + 1] - starts
+    total = int(lens.sum())
+    if total == 0:
+        return _EMPTY_TAKE
+    shift = np.concatenate(([0], np.cumsum(lens)[:-1]))
+    return np.repeat(starts - shift, lens) + np.arange(total)
+
+
+def _csr_gather(
+    offsets: np.ndarray, data: np.ndarray, rows: np.ndarray
+) -> np.ndarray:
+    """Concatenated CSR slices ``data[offsets[r]:offsets[r+1]]`` per row."""
+    return data[_csr_take(offsets, rows)]
+
+
+@dataclass(frozen=True)
+class BoundaryChain:
+    """An id-native boundary chain: interned wall ids + orientation.
+
+    ``wall_ids`` is ascending (a by-product of the ``np.unique``
+    cancellation), ``signs`` is +1 where the inward traversal follows
+    the canonical edge orientation and -1 against it.
+    """
+
+    wall_ids: np.ndarray
+    signs: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.wall_ids)
+
+
+class CompiledQueryPlanner:
+    """Array-native resolution pipeline over a network's CSR indexes."""
+
+    def __init__(self, network: SensorNetwork) -> None:
+        self.network = network
+        self.domain = network.domain
+        self.index = network.compiled_index()
+        #: Dense-id universe sizes for the bincount scatter tables.
+        self._n_walls = len(self.index.wo_offsets) - 1
+        self._n_sensor_ids = int(
+            self.index.wo_sensors.max() + 1
+            if len(self.index.wo_sensors)
+            else 0
+        )
+        #: Dense wall → owners matrix (columns padded with -1): owner
+        #: lists are tiny (one or two sensors per wall), so a matrix
+        #: row gather beats a CSR gather on the hot perimeter path.
+        wo_counts = np.diff(self.index.wo_offsets)
+        width = int(wo_counts.max()) if len(wo_counts) else 0
+        dense = np.full((self._n_walls, max(width, 1)), -1, dtype=np.int32)
+        for column in range(width):
+            rows = np.flatnonzero(wo_counts > column)
+            dense[rows, column] = self.index.wo_sensors[
+                self.index.wo_offsets[rows] + column
+            ]
+        self._wall_owners_dense = dense
+        #: Decoded directed-edge lists per chain digest (for stores
+        #: without an id-native integration path, and for the rare
+        #: degraded-dispatch bookkeeping).
+        self._decoded: Dict[bytes, List[DirectedEdge]] = {}
+
+    # ------------------------------------------------------------------
+    # Resolution pipeline
+    # ------------------------------------------------------------------
+    def junction_ids(self, box) -> np.ndarray:
+        """Junction indices inside the rectangle (ascending int32)."""
+        return self.domain.junction_ids_in_bbox(box)
+
+    def region_ids(
+        self, junction_ids: np.ndarray, bound: str
+    ) -> Optional[Tuple[int, ...]]:
+        """Region approximation as a sorted tuple; ``None`` on a miss.
+
+        Mirrors :meth:`SensorNetwork.lower_regions` /
+        :meth:`~repro.sampling.SensorNetwork.upper_regions`: the lower
+        bound keeps regions whose in-bbox membership count equals their
+        size; the upper bound keeps every touched region and misses
+        when the EXT region is touched (no bounded superset exists).
+        """
+        index = self.index
+        touched = index.region_of_junction[junction_ids]
+        counts = np.bincount(touched, minlength=index.n_regions)
+        if bound == LOWER:
+            enclosed = np.flatnonzero(
+                (counts > 0) & (counts == index.region_size)
+            )
+            enclosed = enclosed[enclosed != index.ext_region]
+            if len(enclosed) == 0:
+                return None
+            return tuple(enclosed.tolist())
+        if counts[index.ext_region]:
+            return None
+        regions = np.flatnonzero(counts)
+        if len(regions) == 0:
+            return None
+        return tuple(regions.tolist())
+
+    def boundary(self, regions: Tuple[int, ...]) -> BoundaryChain:
+        """Boundary chain of a union of regions, by occurrence counting.
+
+        Each selected region contributes its inward wall slice; a wall
+        shared by two selected regions occurs twice (with opposite
+        signs) and cancels, exactly like the Python path's
+        ``region_of[u] not in selected`` test.
+        """
+        index = self.index
+        if index.ext_region in regions:
+            raise QueryError("query regions cannot include the EXT region")
+        if len(regions) == 1:
+            # One region has no interior walls to cancel; its slice is
+            # stored ascending, so it already is the canonical chain.
+            lo = index.rw_offsets[regions[0]]
+            hi = index.rw_offsets[regions[0] + 1]
+            return BoundaryChain(
+                index.rw_wall_ids[lo:hi], index.rw_signs[lo:hi]
+            )
+        rows = np.asarray(regions, dtype=np.int64)
+        take = _csr_take(index.rw_offsets, rows)
+        if len(take) == 0:
+            return BoundaryChain(_EMPTY_I32, _EMPTY_I8)
+        ids = index.rw_wall_ids[take]
+        signs = index.rw_signs[take]
+        # Signed scatter-sum over the wall universe: a wall appears at
+        # most twice (once per adjacent region, opposite signs), so the
+        # net weight is ±1 on the boundary and 0 on cancelled interior
+        # walls.  No sort — unlike np.unique — and ids come out
+        # ascending from flatnonzero.
+        net = np.bincount(ids, weights=signs, minlength=self._n_walls)
+        wall_ids = np.flatnonzero(net)
+        return BoundaryChain(
+            wall_ids.astype(np.int32),
+            net[wall_ids].astype(np.int8),
+        )
+
+    def chain_sensors(self, chain: BoundaryChain) -> np.ndarray:
+        """Unique owning sensors of a chain (ascending), one gather."""
+        if chain.size == 0:
+            return _EMPTY_I32
+        owners = self._wall_owners_dense[chain.wall_ids].ravel()
+        # Shift by one so the -1 padding lands in slot 0, then drop it.
+        seen = np.bincount(owners + 1, minlength=self._n_sensor_ids + 1)
+        return np.flatnonzero(seen[1:])
+
+    def flood_sensors(self, regions: Tuple[int, ...]) -> np.ndarray:
+        """Unique blocks incident to any junction of the regions."""
+        index = self.index
+        rows = np.asarray(regions, dtype=np.int64)
+        junctions = _csr_gather(index.rj_offsets, index.rj_junctions, rows)
+        jb_offsets, jb_blocks = index.junction_blocks(self.domain)
+        blocks = _csr_gather(jb_offsets, jb_blocks, junctions)
+        if len(blocks) == 0:
+            return blocks
+        seen = np.bincount(blocks)  # block-id universe is small
+        return np.flatnonzero(seen)
+
+    # ------------------------------------------------------------------
+    # Integration
+    # ------------------------------------------------------------------
+    def integrate(
+        self,
+        store,
+        chain: BoundaryChain,
+        query: RangeQuery,
+        static_eval: str,
+    ) -> float:
+        """Integrate the chain through an id-native store.
+
+        Only valid for stores exposing ``integrate_until_ids`` /
+        ``integrate_between_ids`` (:class:`~repro.forms.CompiledTrackingForm`);
+        the engine decodes the chain and uses its generic path for
+        anything else.
+        """
+        wall_ids, signs = chain.wall_ids, chain.signs
+        if query.kind == TRANSIENT:
+            return store.integrate_between_ids(
+                wall_ids, signs, query.t1, query.t2
+            )
+        if static_eval == "end":
+            return store.integrate_until_ids(wall_ids, signs, query.t2)
+        if static_eval == "start":
+            return store.integrate_until_ids(wall_ids, signs, query.t1)
+        return min(
+            store.integrate_until_ids(wall_ids, signs, query.t1),
+            store.integrate_until_ids(wall_ids, signs, query.t2),
+        )
+
+    def decode_edges(self, chain: BoundaryChain) -> List[DirectedEdge]:
+        """The chain as inward-directed ``(u, v)`` edges (cached)."""
+        key = chain.wall_ids.tobytes() + chain.signs.tobytes()
+        edges = self._decoded.get(key)
+        if edges is None:
+            edge_of = self.domain.edge_interner.edge
+            edges = []
+            for eid, sign in zip(
+                chain.wall_ids.tolist(), chain.signs.tolist()
+            ):
+                u, v = edge_of(eid)
+                edges.append((u, v) if sign > 0 else (v, u))
+            self._decoded[key] = edges
+        return edges

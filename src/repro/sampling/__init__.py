@@ -8,6 +8,7 @@ from .axis_aligned import (
 )
 from .connectivity import knn_edges, triangulation_edges
 from .network import (
+    CompiledNetworkIndex,
     SensorNetwork,
     full_network,
     sampled_network,
@@ -16,6 +17,7 @@ from .network import (
 from .serialize import load_network, save_network
 
 __all__ = [
+    "CompiledNetworkIndex",
     "SensorNetwork",
     "calibrate_grid_to_walls",
     "full_network",

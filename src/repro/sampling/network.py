@@ -48,6 +48,7 @@ class SensorNetwork:
 
     def __post_init__(self) -> None:
         self._compute_regions()
+        self._compiled_index: Optional["CompiledNetworkIndex"] = None
 
     # ------------------------------------------------------------------
     # Region structure (faces of G~)
@@ -134,16 +135,20 @@ class SensorNetwork:
     # Region approximation for junction-set queries (§4.6, Fig. 7)
     # ------------------------------------------------------------------
     def lower_regions(self, junctions: Set[NodeId]) -> List[int]:
-        """Maximal union of regions fully inside the junction set (R2)."""
+        """Maximal union of regions fully inside the junction set (R2).
+
+        Returned sorted by region id, so the Python and compiled
+        planners agree on the region tuple of a query result.
+        """
         candidates = {
             self._region_of[j] for j in junctions if j in self._region_of
         }
         candidates.discard(self.ext_region)
-        return [
+        return sorted(
             region
             for region in candidates
             if self._regions[region] <= junctions
-        ]
+        )
 
     def upper_regions(self, junctions: Set[NodeId]) -> Tuple[List[int], bool]:
         """Minimal union of regions covering the junction set (R1).
@@ -299,6 +304,22 @@ class SensorNetwork:
         left, right = domain.dual.faces_of_primal_edge(u, v)
         return {b for b in (left, right) if b != domain.dual.outer_node}
 
+    # ------------------------------------------------------------------
+    # Compiled (CSR) query indexes
+    # ------------------------------------------------------------------
+    def compiled_index(self) -> "CompiledNetworkIndex":
+        """Int32/CSR indexes of this network's region structure (cached).
+
+        Built once on first use and shared by every
+        :class:`~repro.query.CompiledQueryPlanner` attached to this
+        network.
+        """
+        index = self._compiled_index
+        if index is None:
+            index = CompiledNetworkIndex.build(self)
+            self._compiled_index = index
+        return index
+
     @property
     def size_fraction(self) -> float:
         """|sensors| / |blocks| — the x-axis of Figs. 11a/12a."""
@@ -314,6 +335,167 @@ class SensorNetwork:
             f"SensorNetwork({self.name!r}, sensors={len(self.sensors)}, "
             f"walls={len(self.walls)}, regions={self.region_count})"
         )
+
+
+# ----------------------------------------------------------------------
+# Compiled network indexes (the read-path analogue of EventColumns)
+# ----------------------------------------------------------------------
+@dataclass
+class CompiledNetworkIndex:
+    """Int32/CSR compilation of a network's region structure.
+
+    Everything the query planner's resolution pipeline needs, as flat
+    contiguous arrays addressed by dense ids:
+
+    - junctions by their index in ``domain.junctions`` (the same order
+      as :meth:`MobilityDomain.junction_ids_in_bbox` results);
+    - regions by the dense ids :meth:`SensorNetwork._compute_regions`
+      assigns (including the EXT region, which queries must exclude);
+    - walls by their interned canonical-edge id (shared with the
+      columnar event store and compiled tracking forms through
+      ``domain.edge_interner``), plus an orientation sign: ``+1`` when
+      the region-inward direction equals the canonical orientation,
+      ``-1`` against it.
+
+    The wall→owner CSR bakes in the :meth:`SensorNetwork.wall_sensors`
+    fallback (incident blocks when a wall has no explicit owners), so a
+    gather over it reproduces perimeter sensor accounting exactly.
+    """
+
+    ext_region: int
+    n_regions: int
+    #: Region id of each junction (indexed by junction index).
+    region_of_junction: np.ndarray
+    #: Number of junctions in each region (indexed by region id; the
+    #: EXT region counts its junctions, not the EXT node itself).
+    region_size: np.ndarray
+    #: CSR region → junction indices (sorted within each region).
+    rj_offsets: np.ndarray
+    rj_junctions: np.ndarray
+    #: CSR region → inward boundary walls (interned ids + signs).
+    rw_offsets: np.ndarray
+    rw_wall_ids: np.ndarray
+    rw_signs: np.ndarray
+    #: CSR wall id → owning communication sensors (sorted per wall).
+    wo_offsets: np.ndarray
+    wo_sensors: np.ndarray
+    #: Lazily built CSR junction index → incident blocks (flood mode).
+    jb_offsets: Optional[np.ndarray] = None
+    jb_blocks: Optional[np.ndarray] = None
+
+    @classmethod
+    def build(cls, network: "SensorNetwork") -> "CompiledNetworkIndex":
+        domain = network.domain
+        interner = domain.edge_interner
+        junction_index = domain.junction_index
+        n_junctions = domain.junction_count
+        n_regions = len(network._regions)
+
+        region_of_junction = np.empty(n_junctions, dtype=np.int32)
+        for node, region in network._region_of.items():
+            if node == EXT:
+                continue
+            region_of_junction[junction_index[node]] = region
+        region_size = np.zeros(n_regions, dtype=np.int64)
+        for region, members in network._regions.items():
+            region_size[region] = len(members)
+
+        # CSR region → junctions: a stable argsort groups junction
+        # indices by region, ascending within each region.
+        counts = np.bincount(region_of_junction, minlength=n_regions)
+        rj_offsets = np.concatenate(
+            ([0], np.cumsum(counts))
+        ).astype(np.int64)
+        rj_junctions = np.argsort(
+            region_of_junction, kind="stable"
+        ).astype(np.int32)
+
+        # CSR region → inward walls with orientation signs.
+        wall_counts = np.zeros(n_regions, dtype=np.int64)
+        for region, inward in network._region_walls.items():
+            wall_counts[region] = len(inward)
+        rw_offsets = np.concatenate(
+            ([0], np.cumsum(wall_counts))
+        ).astype(np.int64)
+        rw_wall_ids = np.empty(int(rw_offsets[-1]), dtype=np.int32)
+        rw_signs = np.empty(int(rw_offsets[-1]), dtype=np.int8)
+        intern = interner.intern
+        for region, inward in network._region_walls.items():
+            # Sorted by wall id so a single region's slice is already a
+            # canonical ascending chain (the planner's fast path).
+            interned = sorted(intern(u, v) for u, v in inward)
+            cursor = int(rw_offsets[region])
+            for eid, forward in interned:
+                rw_wall_ids[cursor] = eid
+                rw_signs[cursor] = 1 if forward else -1
+                cursor += 1
+
+        # CSR wall id → owners, over the interner's full id space so
+        # chain gathers can index it directly.  Walls are interned
+        # first: dangling walls of ad-hoc networks may lie outside the
+        # pre-seeded sensing-edge table.
+        wall_ids = {wall: intern(*wall)[0] for wall in network.walls}
+        n_ids = len(interner)
+        owner_lists: List[Sequence[int]] = [()] * n_ids
+        for wall, eid in wall_ids.items():
+            owner_lists[eid] = sorted(network.wall_sensors(*wall))
+        owner_counts = np.fromiter(
+            (len(owners) for owners in owner_lists),
+            dtype=np.int64,
+            count=n_ids,
+        )
+        wo_offsets = np.concatenate(
+            ([0], np.cumsum(owner_counts))
+        ).astype(np.int64)
+        wo_sensors = np.array(
+            [s for owners in owner_lists for s in owners], dtype=np.int32
+        )
+
+        return cls(
+            ext_region=network.ext_region,
+            n_regions=n_regions,
+            region_of_junction=region_of_junction,
+            region_size=region_size,
+            rj_offsets=rj_offsets,
+            rj_junctions=rj_junctions,
+            rw_offsets=rw_offsets,
+            rw_wall_ids=rw_wall_ids,
+            rw_signs=rw_signs,
+            wo_offsets=wo_offsets,
+            wo_sensors=wo_sensors,
+        )
+
+    def junction_blocks(
+        self, domain: MobilityDomain
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """CSR junction index → incident sensor blocks (lazy; flood)."""
+        if self.jb_offsets is None:
+            dual = domain.dual
+            outer = dual.outer_node
+            per_junction: List[List[int]] = []
+            for junction in domain.junctions:
+                blocks = set()
+                for neighbour in domain.graph.neighbors(junction):
+                    left, right = dual.faces_of_primal_edge(
+                        junction, neighbour
+                    )
+                    blocks.update(
+                        b for b in (left, right) if b != outer
+                    )
+                per_junction.append(sorted(blocks))
+            lens = np.fromiter(
+                (len(b) for b in per_junction),
+                dtype=np.int64,
+                count=len(per_junction),
+            )
+            self.jb_offsets = np.concatenate(
+                ([0], np.cumsum(lens))
+            ).astype(np.int64)
+            self.jb_blocks = np.array(
+                [b for blocks in per_junction for b in blocks],
+                dtype=np.int32,
+            )
+        return self.jb_offsets, self.jb_blocks
 
 
 # ----------------------------------------------------------------------
