@@ -142,6 +142,212 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_monitor(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import FrameworkConfig, InNetworkFramework
+    from repro.evaluation.workloads import (
+        QueryWorkloadConfig,
+        generate_queries,
+    )
+    from repro.mobility import organic_city
+    from repro.obs import (
+        AlertLog,
+        Instrumentation,
+        MetricsRegistry,
+        NULL_TRACER,
+        TimeSeriesRecorder,
+        default_slos,
+        evaluate_slos,
+        fleet_health,
+        set_registry,
+    )
+    from repro.obs.dashboard import render_dashboard
+    from repro.trajectories import WorkloadConfig, generate_workload
+
+    # A fresh registry so the telemetry reflects this run only; the
+    # null tracer keeps the hot path span-free (the recorder samples
+    # counters, it does not need spans).
+    registry = MetricsRegistry()
+    set_registry(registry)
+    obs = Instrumentation(
+        tracer=NULL_TRACER, metrics=registry, provenance=True
+    )
+
+    rng = np.random.default_rng(args.seed)
+    road = organic_city(blocks=args.blocks, rng=rng)
+    framework = InNetworkFramework.from_road_graph(road, instrumentation=obs)
+    domain = framework.domain
+    budget = max(int(domain.block_count * args.fraction), 2)
+    network = framework.deploy(
+        FrameworkConfig(selector=args.selector, budget=budget,
+                        store=args.store, planner=args.planner,
+                        seed=args.seed)
+    )
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(n_trips=args.trips, horizon_days=1.0,
+                       mean_dwell=3600.0, seed=args.seed),
+    )
+    n_events = framework.ingest_trips(workload.trips)
+    log.info(f"fleet: {len(network.sensors)} sensors "
+             f"({network.size_fraction:.1%}), {n_events} events ingested")
+
+    injector = None
+    if args.faults > 0:
+        from repro.network import FaultConfig
+
+        injector = framework.fault_injector(
+            FaultConfig(seed=args.seed,
+                        sensor_failure_rate=args.faults,
+                        drop_rate=args.faults / 2)
+        )
+        log.info(f"faults: {args.faults:.0%} sensor crash, "
+                 f"{args.faults / 2:.0%} message drop "
+                 f"({len(injector.crashed)} sensors down)")
+    engine = framework.engine(
+        faults=injector, dispatch_strategy=args.strategy
+    )
+
+    queries = generate_queries(
+        domain,
+        workload.horizon,
+        QueryWorkloadConfig(n_queries=args.queries,
+                            area_fraction=args.area, seed=args.seed),
+    )
+    recorder = TimeSeriesRecorder(registry)
+    slos = default_slos()
+    alert_log = AlertLog()
+    live = sys.stderr.isatty()
+
+    recorder.sample()
+    if engine.simulator is not None:
+        engine.simulator.probe_fleet()
+    sample_round = 0
+    for i, query in enumerate(queries, 1):
+        engine.execute(query)
+        if i % max(args.sample_every, 1) and i != len(queries):
+            continue
+        sample_round += 1
+        if (
+            engine.simulator is not None
+            and sample_round % max(args.probe_every, 1) == 0
+        ):
+            engine.simulator.probe_fleet()
+        sample = recorder.sample()
+        statuses = evaluate_slos(slos, recorder)
+        for alert in alert_log.observe(sample.t, statuses):
+            if live:
+                print(file=sys.stderr)
+            log.warning(alert.format())
+        availability = statuses[0]
+        p95 = sample.quantiles.get("repro_query_latency_seconds:p95")
+        p95_txt = f"{p95 * 1e3:.2f}ms" if p95 and p95 == p95 else "-"
+        line = (
+            f"[{i}/{len(queries)}] availability "
+            f"{availability.compliance:.1%} (burn "
+            f"{availability.burn_rate:.1f}x)  p95 {p95_txt}  "
+            f"alerts {len(alert_log)}"
+        )
+        if live:
+            print(f"\r\x1b[2K{line}", end="", file=sys.stderr, flush=True)
+        else:
+            log.info(line)
+    if live:
+        print(file=sys.stderr)
+
+    statuses = evaluate_slos(slos, recorder)
+    health = fleet_health(registry, known_sensors=network.sensors)
+    explain = engine.explain(queries[0])
+
+    log.info(health.format_report())
+    for status in statuses:
+        state = "OK" if status.ok else "VIOLATED"
+        log.info(f"slo {status.name}: {status.compliance:.2%} vs "
+                 f"{status.objective:.0%} ({state}, burn "
+                 f"{status.burn_rate:.1f}x)")
+    log.info(alert_log.format())
+    log.info(f"sample plan:\n{explain.format()}")
+
+    if args.html:
+        meta = {
+            "city blocks": domain.block_count,
+            "sensors": len(network.sensors),
+            "events": n_events,
+            "queries": len(queries),
+            "fault rate": f"{args.faults:.0%}",
+            "dispatch": args.strategy,
+            "planner": engine.planner_in_use,
+            "samples": len(recorder),
+        }
+        page = render_dashboard(
+            title="repro fleet monitor",
+            meta=meta,
+            recorder=recorder,
+            statuses=statuses,
+            alerts=alert_log.alerts,
+            health=health,
+            explain_text=explain.format(),
+        )
+        with open(args.html, "w") as handle:
+            handle.write(page)
+        log.info(f"dashboard: wrote {args.html}")
+    if args.json:
+        payload = {
+            "timeseries": recorder.to_json(),
+            "slos": [status.as_dict() for status in statuses],
+            "alerts": [alert.__dict__ for alert in alert_log.alerts],
+            "health": health.as_dict(),
+            "explain": explain.as_dict(),
+        }
+        with open(args.json, "w") as handle:
+            json.dump(payload, handle, indent=1)
+        log.info(f"telemetry: wrote {args.json}")
+
+    if not args.smoke:
+        return 0
+
+    # --smoke: assert the acceptance invariants of the telemetry stack.
+    failures = []
+    if injector is not None:
+        crashed = set(injector.crashed)
+        failed = set(health.failed_sensors)
+        if not crashed <= failed:
+            failures.append(
+                f"health missed crashed sensors: {sorted(crashed - failed)}"
+            )
+        availability = statuses[0]
+        if availability.budget_used <= 0:
+            failures.append(
+                "availability SLO burned no budget under faults"
+            )
+    reference_engine = framework.engine()
+    reference = reference_engine.execute(queries[0])
+    plan = reference_engine.explain(queries[0])
+    mismatches = [
+        name
+        for name, got, want in (
+            ("regions", plan.region_ids, reference.regions),
+            ("boundary", plan.boundary_length,
+             reference.provenance.boundary_length),
+            ("sensors", plan.sensors_accessed, reference.nodes_accessed),
+            ("edges", plan.edges_accessed, reference.edges_accessed),
+            ("value", plan.value, reference.value),
+        )
+        if got != want
+    ]
+    if mismatches:
+        failures.append(
+            f"explain disagrees with execute on: {', '.join(mismatches)}"
+        )
+    for failure in failures:
+        log.error(f"smoke: {failure}")
+    if failures:
+        return 1
+    log.info("smoke: health, SLO burn and EXPLAIN invariants hold")
+    return 0
+
+
 def _cmd_city(args: argparse.Namespace) -> int:
     from repro.mobility import (
         grid_city,
@@ -215,6 +421,50 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write the metrics registry in Prometheus "
                            "text format")
     demo.set_defaults(handler=_cmd_demo)
+
+    monitor = commands.add_parser(
+        "monitor",
+        help="run a query workload while sampling fleet telemetry: "
+             "time series, SLO burn, per-sensor health, query EXPLAIN",
+    )
+    monitor.add_argument("--blocks", type=int, default=200)
+    monitor.add_argument("--trips", type=int, default=3000)
+    monitor.add_argument("--fraction", type=float, default=0.25,
+                         help="sensor budget as a fraction of blocks")
+    monitor.add_argument("--selector", default="quadtree",
+                         choices=["uniform", "systematic", "kdtree",
+                                  "quadtree", "stratified"])
+    monitor.add_argument("--store", default="exact",
+                         choices=["exact", "linear", "polynomial",
+                                  "piecewise", "histogram"])
+    monitor.add_argument("--planner", default="auto",
+                         choices=["auto", "compiled", "python"])
+    monitor.add_argument("--seed", type=int, default=7)
+    monitor.add_argument("--faults", type=float, default=0.1, metavar="P",
+                         help="sensor crash rate (P/2 becomes the "
+                              "per-message drop rate); 0 disables "
+                              "fault injection")
+    monitor.add_argument("--strategy", default="perimeter_walk",
+                         choices=["perimeter_walk", "server_fanout"])
+    monitor.add_argument("--queries", type=int, default=120,
+                         help="queries in the monitored workload")
+    monitor.add_argument("--area", type=float, default=0.15,
+                         help="query area as a fraction of the domain")
+    monitor.add_argument("--sample-every", type=int, default=10,
+                         help="recorder tick every N queries")
+    monitor.add_argument("--probe-every", type=int, default=5,
+                         help="fleet health-probe sweep every N ticks")
+    monitor.add_argument("--html", metavar="PATH", default=None,
+                         help="write the self-contained HTML dashboard")
+    monitor.add_argument("--json", metavar="PATH", default=None,
+                         help="write the telemetry (series, SLOs, "
+                              "health, EXPLAIN) as JSON")
+    monitor.add_argument("--smoke", action="store_true",
+                         help="assert the telemetry invariants (crashed "
+                              "sensors identified, SLO burn under "
+                              "faults, EXPLAIN consistency) and exit "
+                              "non-zero on failure")
+    monitor.set_defaults(handler=_cmd_monitor)
 
     city = commands.add_parser("city", help="generate a synthetic city map")
     city.add_argument("output", help="output JSON path")

@@ -249,6 +249,30 @@ class InNetworkFramework:
             raise QueryError("deploy() first")
         return FaultInjector.for_network(self.network, config)
 
+    def engine(
+        self,
+        faults: Optional[FaultInjector] = None,
+        dispatch_strategy: str = "perimeter_walk",
+        retry_policy: Optional[RetryPolicy] = None,
+    ) -> QueryEngine:
+        """A query engine over the deployed network and current store.
+
+        ``query()`` builds one per call; monitoring loops and EXPLAIN
+        want a persistent engine so the dispatcher (and its fault
+        telemetry) survives across queries.
+        """
+        if self.network is None or self._store is None:
+            raise QueryError("deploy() and ingest first")
+        return QueryEngine(
+            self.network,
+            self._store,
+            planner=self.config.planner if self.config is not None else "auto",
+            instrumentation=self.obs,
+            faults=faults,
+            dispatch_strategy=dispatch_strategy,
+            retry_policy=retry_policy,
+        )
+
     def query(
         self,
         box: BBox,
@@ -267,18 +291,34 @@ class InNetworkFramework:
         ``approximate`` carrying a :class:`~repro.query.QueryDegradation`
         error bound.
         """
-        if self.network is None or self._store is None:
-            raise QueryError("deploy() and ingest first")
-        engine = QueryEngine(
-            self.network,
-            self._store,
-            planner=self.config.planner if self.config is not None else "auto",
-            instrumentation=self.obs,
+        engine = self.engine(
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
         )
         return engine.execute(RangeQuery(box, t1, t2, kind=kind, bound=bound))
+
+    def explain(
+        self,
+        box: BBox,
+        t1: float,
+        t2: float,
+        kind: str = STATIC,
+        bound: str = LOWER,
+        faults: Optional[FaultInjector] = None,
+        dispatch_strategy: str = "perimeter_walk",
+        retry_policy: Optional[RetryPolicy] = None,
+    ):
+        """EXPLAIN one query: execute it with provenance forced on and
+        return the measured :class:`~repro.obs.QueryExplain` plan."""
+        engine = self.engine(
+            faults=faults,
+            dispatch_strategy=dispatch_strategy,
+            retry_policy=retry_policy,
+        )
+        return engine.explain(
+            RangeQuery(box, t1, t2, kind=kind, bound=bound)
+        )
 
     def query_exact(
         self,

@@ -33,6 +33,7 @@ from typing import FrozenSet, Iterable, Optional, Sequence
 import numpy as np
 
 from ..errors import ConfigurationError
+from ..obs import get_registry
 
 
 def _check_probability(name: str, value: float) -> None:
@@ -152,6 +153,23 @@ class FaultInjector:
         self._attempt_rng = np.random.default_rng(
             np.random.SeedSequence(entropy=config.seed, spawn_key=(1,))
         )
+
+    def record_schedule(self, registry=None) -> None:
+        """Export the materialised failure schedule as gauges.
+
+        Called by the simulator at construction so dashboards can put
+        the *observed* failed-sensor count next to the *scheduled* one.
+        """
+        if registry is None:
+            registry = get_registry()
+        registry.gauge(
+            "repro_fault_crashed_sensors",
+            help="Sensors scheduled as crashed for the whole run",
+        ).set(len(self.crashed))
+        registry.gauge(
+            "repro_fault_flaky_sensors",
+            help="Sensors scheduled as intermittently responsive",
+        ).set(len(self.flaky))
 
     @classmethod
     def for_network(

@@ -14,9 +14,20 @@ query pipeline:
   the framework, pipeline, engine and simulator accept (default: the
   no-op :data:`NULL_INSTRUMENTATION`);
 - :mod:`repro.obs.logging` — shared stdlib-logging setup with
-  ``key=value`` structured extras.
+  ``key=value`` structured extras;
+- :mod:`repro.obs.timeseries` — :class:`TimeSeriesRecorder`, sampling
+  a registry into aligned fixed-capacity ring-buffer windows;
+- :mod:`repro.obs.slo` — declarative :class:`SLO` objects with
+  error-budget/burn-rate evaluation and the :class:`AlertLog`;
+- :mod:`repro.obs.health` — per-sensor health scoring and fleet
+  rollups over the simulator's per-sensor telemetry;
+- :mod:`repro.obs.explain` — the measured query EXPLAIN plan;
+- :mod:`repro.obs.dashboard` — the self-contained HTML dashboard the
+  ``repro monitor`` CLI exports.
 """
 
+from .explain import QueryExplain, build_explain
+from .health import FleetHealth, SensorHealth, fleet_health
 from .instrument import Instrumentation, NULL_INSTRUMENTATION
 from .logging import configure as configure_logging
 from .logging import get_logger, kv
@@ -28,29 +39,60 @@ from .metrics import (
     MetricsRegistry,
     NULL_REGISTRY,
     NullMetricsRegistry,
+    SECONDS_BUCKETS,
     get_registry,
     set_registry,
     use_registry,
 )
 from .provenance import QueryProvenance
+from .slo import (
+    Alert,
+    AlertLog,
+    AvailabilitySLO,
+    ContainmentSLO,
+    LatencySLO,
+    SLO,
+    SLOStatus,
+    default_slos,
+    evaluate_slos,
+)
+from .timeseries import Sample, SeriesWindow, TimeSeriesRecorder
 from .trace import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
+    "Alert",
+    "AlertLog",
+    "AvailabilitySLO",
+    "ContainmentSLO",
     "Counter",
     "DEFAULT_BUCKETS",
+    "FleetHealth",
     "Gauge",
     "Histogram",
     "Instrumentation",
+    "LatencySLO",
     "MetricsRegistry",
     "NULL_INSTRUMENTATION",
     "NULL_REGISTRY",
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "QueryExplain",
     "QueryProvenance",
+    "SECONDS_BUCKETS",
+    "SLO",
+    "SLOStatus",
+    "Sample",
+    "SensorHealth",
+    "SeriesWindow",
     "Span",
+    "TimeSeriesRecorder",
     "Tracer",
+    "build_explain",
     "configure_logging",
+    "default_slos",
+    "evaluate_slos",
+    "fleet_health",
     "get_logger",
     "get_registry",
     "kv",

@@ -38,6 +38,14 @@ LabelKey = Tuple[Tuple[str, str], ...]
 #: counts, hop counts and boundary lengths at every benchmark scale.
 DEFAULT_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000)
 
+#: Wall-time buckets (seconds) for latency histograms: per-query times
+#: span tens of microseconds (compiled batch) to tens of milliseconds
+#: (python planner on large boundaries).
+SECONDS_BUCKETS = (
+    1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4,
+    1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.5, 1.0, 5.0,
+)
+
 
 def _label_key(labels: Dict[str, Any]) -> LabelKey:
     return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
@@ -110,6 +118,29 @@ class Histogram:
         out.append((math.inf, running + self.counts[-1]))
         return out
 
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile estimated by linear interpolation within
+        buckets (the ``histogram_quantile`` convention).
+
+        Observations landing in the overflow bucket clamp to the top
+        finite bound — the histogram does not know how far past it they
+        went.  Returns NaN for an empty histogram.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q!r}")
+        if self.count == 0 or not self.uppers:
+            return math.nan
+        target = q * self.count
+        running = 0
+        for i, upper in enumerate(self.uppers):
+            in_bucket = self.counts[i]
+            if in_bucket and running + in_bucket >= target:
+                lower = self.uppers[i - 1] if i > 0 else min(0.0, upper)
+                fraction = (target - running) / in_bucket
+                return lower + (upper - lower) * fraction
+            running += in_bucket
+        return self.uppers[-1]
+
 
 class MetricsRegistry:
     """Memoised instrument store with JSON/Prometheus exports."""
@@ -170,6 +201,23 @@ class MetricsRegistry:
         return sum(
             c.value for (n, _), c in self._counters.items() if n == name
         )
+
+    def iter_counters(self) -> Iterator[Tuple[str, Dict[str, str], Counter]]:
+        """``(name, labels, instrument)`` for every counter, sorted."""
+        for (name, labels), counter in sorted(self._counters.items()):
+            yield name, dict(labels), counter
+
+    def iter_gauges(self) -> Iterator[Tuple[str, Dict[str, str], Gauge]]:
+        """``(name, labels, instrument)`` for every gauge, sorted."""
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            yield name, dict(labels), gauge
+
+    def iter_histograms(
+        self,
+    ) -> Iterator[Tuple[str, Dict[str, str], Histogram]]:
+        """``(name, labels, instrument)`` for every histogram, sorted."""
+        for (name, labels), hist in sorted(self._histograms.items()):
+            yield name, dict(labels), hist
 
     # ------------------------------------------------------------------
     # Exports
@@ -251,6 +299,9 @@ class _NullInstrument:
     def cumulative(self) -> List[Tuple[float, int]]:
         return [(math.inf, 0)]
 
+    def quantile(self, q: float) -> float:
+        return math.nan
+
 
 _NULL_INSTRUMENT = _NullInstrument()
 
@@ -272,6 +323,15 @@ class NullMetricsRegistry:
 
     def sum_values(self, name: str) -> float:
         return 0
+
+    def iter_counters(self):
+        return iter(())
+
+    def iter_gauges(self):
+        return iter(())
+
+    def iter_histograms(self):
+        return iter(())
 
     def snapshot(self) -> Dict[str, Any]:
         return {"counters": {}, "gauges": {}, "histograms": {}}
@@ -329,8 +389,15 @@ def _escape(value: str) -> str:
 
 
 def _prom_value(value: float) -> str:
-    if isinstance(value, float) and not value.is_integer():
-        return repr(value)
+    if isinstance(value, float):
+        # Exposition-format spellings for non-finite values: Prometheus
+        # parsers accept +Inf/-Inf/NaN, not Python's repr() inf/nan.
+        if math.isnan(value):
+            return "NaN"
+        if math.isinf(value):
+            return "+Inf" if value > 0 else "-Inf"
+        if not value.is_integer():
+            return repr(value)
     return str(int(value))
 
 

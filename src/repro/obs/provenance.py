@@ -30,12 +30,16 @@ from typing import Any, Dict, Tuple
 class QueryProvenance:
     """Measured internals of one query execution."""
 
+    #: Resolution pipeline that executed ("compiled" or "python").
+    planner: str = ""
     #: Junctions the query rectangle resolved to (|R|, §5.1.5).
     junction_count: int = 0
     #: Region ids of the executed approximation.
     region_ids: Tuple[int, ...] = ()
     #: Directed boundary-chain length integrated over.
     boundary_length: int = 0
+    #: Communication sensors the accounting charged (pre-dispatch).
+    sensors_accessed: int = 0
     #: True when every shared structure this query needed came from the
     #: batch caches (always False under ``execute()``).
     cache_served: bool = False
@@ -51,9 +55,11 @@ class QueryProvenance:
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe representation (results files, trace attributes)."""
         return {
+            "planner": self.planner,
             "junction_count": self.junction_count,
             "region_ids": list(self.region_ids),
             "boundary_length": self.boundary_length,
+            "sensors_accessed": self.sensors_accessed,
             "cache_served": self.cache_served,
             "cache_hits": dict(self.cache_hits),
             "shared_fill_s": self.shared_fill_s,

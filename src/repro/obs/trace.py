@@ -23,7 +23,7 @@ from __future__ import annotations
 
 import json
 import time
-from typing import Any, Dict, Iterator, List, Optional
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 
 class Span:
@@ -104,14 +104,17 @@ class Tracer:
         return _SpanContext(self, opened)
 
     def _close(self, span: Span) -> None:
+        if not any(open_span is span for open_span in self._stack):
+            # Already closed (or never opened on this tracer): a second
+            # close must not unwind unrelated open spans.
+            return
         span.end = time.perf_counter()
         # Close any forgotten descendants too (exception unwinds).
-        while self._stack and self._stack[-1] is not span:
+        while self._stack[-1] is not span:
             dangling = self._stack.pop()
             if dangling.end is None:
                 dangling.end = span.end
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        self._stack.pop()
 
     # ------------------------------------------------------------------
     def walk(self) -> Iterator[Span]:
@@ -192,7 +195,13 @@ class NullTracer:
     """No-op tracer: ``span()`` returns a shared singleton context."""
 
     enabled = False
-    roots: List[Span] = []
+
+    @property
+    def roots(self) -> Tuple[Span, ...]:
+        """Always empty, and immutable: a class-level list here would be
+        shared global state that any accidental append leaks across
+        every tracer."""
+        return ()
 
     def span(self, name: str, **attributes: Any) -> _NullSpanContext:
         return _NULL_SPAN

@@ -52,7 +52,13 @@ from ..network.simulator import (
     DegradedReport,
     NetworkSimulator,
 )
-from ..obs import Instrumentation, NULL_INSTRUMENTATION, QueryProvenance, get_registry
+from ..obs import (
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    QueryProvenance,
+    SECONDS_BUCKETS,
+    get_registry,
+)
 from ..planar import NodeId
 from ..sampling import SensorNetwork
 from .planner import CompiledQueryPlanner
@@ -143,6 +149,11 @@ class QueryEngine:
             "repro_query_seconds_total",
             help="Wall seconds spent executing queries",
         )
+        self._metric_latency = self._registry.histogram(
+            "repro_query_latency_seconds",
+            buckets=SECONDS_BUCKETS,
+            help="Per-query wall time (answered and missed)",
+        )
         self._metric_queries: Dict[Tuple[str, str], object] = {}
         self._metric_misses: Dict[Tuple[str, str], object] = {}
         #: Whether the store answers id-native chain integration.
@@ -171,6 +182,34 @@ class QueryEngine:
     def planner_in_use(self) -> str:
         """The resolved pipeline: "compiled" or "python"."""
         return "compiled" if self._compiled is not None else "python"
+
+    @property
+    def simulator(self) -> Optional[NetworkSimulator]:
+        """The fault-tolerant dispatcher (``None`` without faults)."""
+        return self._simulator
+
+    def explain(self, query: RangeQuery):
+        """Execute ``query`` with provenance forced on and fold the
+        measured internals into a :class:`~repro.obs.QueryExplain`.
+
+        The query *runs* — EXPLAIN here is an account of an actual
+        execution (counters and fault outcomes included), not an
+        estimate.
+        """
+        from ..obs.explain import build_explain
+
+        obs = self.obs
+        if obs.provenance:
+            result = self.execute(query)
+        else:
+            self.obs = Instrumentation(
+                tracer=obs.tracer, metrics=obs.metrics, provenance=True
+            )
+            try:
+                result = self.execute(query)
+            finally:
+                self.obs = obs
+        return build_explain(self, result)
 
     def _count_query(self, query: RangeQuery) -> None:
         key = (query.kind, query.bound)
@@ -297,12 +336,15 @@ class QueryEngine:
         self._metric_sensors.inc(nodes_accessed)
         self._metric_edges.inc(edges_reached)
         self._metric_seconds.inc(elapsed)
+        self._metric_latency.observe(elapsed)
         provenance = None
         if self.obs.provenance:
             provenance = QueryProvenance(
+                planner=self.planner_in_use,
                 junction_count=junction_count,
                 region_ids=regions,
                 boundary_length=boundary_len,
+                sensors_accessed=nodes_accessed,
                 phase_s={
                     "resolve_junctions": t_junctions - start,
                     "approximate_region": t_regions - t_junctions,
@@ -521,12 +563,15 @@ class QueryEngine:
                 self._metric_sensors.inc(n_sensors)
                 self._metric_edges.inc(boundary_len)
                 self._metric_seconds.inc(elapsed)
+                self._metric_latency.observe(elapsed)
                 provenance = None
                 if with_provenance:
                     provenance = QueryProvenance(
+                        planner=self.planner_in_use,
                         junction_count=junction_count,
                         region_ids=regions,
                         boundary_length=boundary_len,
+                        sensors_accessed=n_sensors,
                         cache_served=all(hits.values()),
                         cache_hits=hits,
                         shared_fill_s=shared,
@@ -740,9 +785,11 @@ class QueryEngine:
         # same counter as answered ones so the per-query mean the
         # figures report covers the whole battery.
         self._metric_seconds.inc(elapsed)
+        self._metric_latency.observe(elapsed)
         provenance = None
         if self.obs.provenance:
             provenance = QueryProvenance(
+                planner=self.planner_in_use,
                 junction_count=junction_count,
                 cache_served=bool(cache_hits) and all(cache_hits.values()),
                 cache_hits=cache_hits or {},

@@ -115,6 +115,16 @@ class CompiledQueryPlanner:
         #: degraded-dispatch bookkeeping).
         self._decoded: Dict[bytes, List[DirectedEdge]] = {}
 
+    def describe(self) -> Dict[str, int]:
+        """Static index sizes (the EXPLAIN header's ``index:`` line)."""
+        index = self.index
+        return {
+            "regions": int(index.n_regions),
+            "walls": int(self._n_walls),
+            "sensors": int(len(self.network.sensors)),
+            "junctions": int(len(index.region_of_junction)),
+        }
+
     # ------------------------------------------------------------------
     # Resolution pipeline
     # ------------------------------------------------------------------

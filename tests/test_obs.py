@@ -112,6 +112,35 @@ class TestTracer:
         assert lines[1].startswith("  inner:")
         assert "[n=1]" in lines[1]
 
+    def test_null_tracer_roots_is_immutable(self):
+        from repro.obs.trace import NullTracer
+
+        # A class-level list here would be shared mutable state: one
+        # accidental append would leak into every tracer.
+        assert NULL_TRACER.roots == ()
+        assert isinstance(NULL_TRACER.roots, tuple)
+        assert NullTracer().roots == ()
+        with pytest.raises((AttributeError, TypeError)):
+            NULL_TRACER.roots.append("leak")
+
+    def test_double_close_does_not_unwind_open_spans(self):
+        tracer = Tracer()
+        keep = tracer.span("keep")
+        keep.__enter__()
+        victim = tracer.span("victim")
+        victim.__enter__()
+        victim.__exit__(None, None, None)
+        # Second close of an already-closed span must be a no-op, not
+        # pop "keep" off the stack.
+        victim.__exit__(None, None, None)
+        with tracer.span("child"):
+            pass
+        keep.__exit__(None, None, None)
+        (root,) = tracer.roots
+        assert root.name == "keep"
+        assert [c.name for c in root.children] == ["victim", "child"]
+        assert all(s.end is not None for s in tracer.walk())
+
     def test_null_tracer_is_inert(self, tmp_path):
         assert NULL_TRACER.enabled is False
         with NULL_TRACER.span("anything", n=1) as span:
@@ -166,6 +195,65 @@ class TestMetricsRegistry:
             (100, 3),
             (float("inf"), 4),
         ]
+
+    def test_histogram_quantile_interpolates(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", buckets=(10.0,))
+        for _ in range(4):
+            h.observe(5.0)
+        # 4 observations spread linearly over [0, 10): p50 target is
+        # the 2nd, half-way through the only bucket.
+        assert h.quantile(0.5) == pytest.approx(5.0)
+        assert h.quantile(1.0) == pytest.approx(10.0)
+
+    def test_histogram_quantile_edge_cases(self):
+        import math
+
+        registry = MetricsRegistry()
+        empty = registry.histogram("empty", buckets=(1.0,))
+        assert math.isnan(empty.quantile(0.5))
+        overflow = registry.histogram("over", buckets=(1.0, 2.0))
+        overflow.observe(100.0)
+        # Overflow observations clamp to the top finite bound.
+        assert overflow.quantile(0.99) == 2.0
+        with pytest.raises(ValueError):
+            overflow.quantile(1.5)
+
+    def test_histogram_quantile_spans_buckets(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            h.observe(value)
+        # p50 target = 2nd observation: first in the (1, 2] bucket.
+        assert h.quantile(0.5) == pytest.approx(1.5)
+        assert h.quantile(0.75) == pytest.approx(2.0)
+        assert 2.0 < h.quantile(0.9) <= 4.0
+
+    def test_prometheus_nonfinite_values_round_trip(self):
+        registry = MetricsRegistry()
+        registry.gauge("g_inf").set(float("inf"))
+        registry.gauge("g_ninf").set(float("-inf"))
+        registry.gauge("g_nan").set(float("nan"))
+        registry.gauge("g_float").set(2.5)
+        text = registry.to_prometheus()
+        # Exposition-format spellings, not Python's repr().
+        assert "g_inf +Inf" in text
+        assert "g_ninf -Inf" in text
+        assert "g_nan NaN" in text
+        assert "inf\n" not in text and " nan" not in text
+        # Every sample line parses back losslessly with float().
+        import math
+
+        parsed = {}
+        for line in text.splitlines():
+            if line.startswith("#"):
+                continue
+            name, value = line.rsplit(" ", 1)
+            parsed[name] = float(value)
+        assert parsed["g_inf"] == math.inf
+        assert parsed["g_ninf"] == -math.inf
+        assert math.isnan(parsed["g_nan"])
+        assert parsed["g_float"] == 2.5
 
     def test_prometheus_export(self):
         registry = MetricsRegistry()
