@@ -32,6 +32,16 @@ Runs two ways:
   against the committed artifact or its speedup over the in-run
   python/single baseline fell below the 3x acceptance floor.
 
+The PR 6 sharded scatter-gather engine adds a shards x workers grid
+(``sharded/s{K}w{W}`` cells) over the same scene and battery.  Every
+sharded cell must stay exactly result-equivalent to the python/single
+reference.  The scaling gate is core-aware: the >= 1.7x (2 workers)
+and >= 3x (4 workers) floors over the single-process compiled batch
+path are physical multi-core claims, so they are enforced only when
+the machine actually has that many usable cores — on smaller boxes
+the gate prints a loud skip and still enforces the shards=1
+no-regression bound (delegation must cost nothing).
+
 The small scale is kept measurable (``--scale smoke``) because it
 documents the crossover: at 80 blocks the per-query fixed costs
 dominate and the compiled path only roughly ties the python one —
@@ -42,6 +52,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
@@ -57,7 +68,15 @@ from repro.evaluation import DEFAULT_CONFIG, SMALL_CONFIG
 from repro.evaluation.harness import PipelineConfig
 from repro.geometry import BBox
 from repro.mobility import MobilityDomain, organic_city
-from repro.query import LOWER, STATIC, TRANSIENT, UPPER, QueryEngine, RangeQuery
+from repro.query import (
+    LOWER,
+    STATIC,
+    TRANSIENT,
+    UPPER,
+    QueryEngine,
+    RangeQuery,
+    ShardedQueryEngine,
+)
 from repro.sampling import sampled_network
 from repro.selection import QuadTreeSelector, SensorCandidates
 from repro.trajectories import EventColumns, WorkloadConfig, generate_workload
@@ -91,6 +110,27 @@ CELLS = (
     ("compiled", "batch"),
 )
 
+#: Sharded scatter-gather grid: (districts, worker processes).  The
+#: first row is the delegation path (shards=1 routes straight to the
+#: single-process compiled engine) and anchors the no-regression bound.
+SHARD_GRID = ((1, 1), (2, 2), (4, 4))
+
+#: Core-aware scaling floors: worker count -> required q/s multiple
+#: over the single-process compiled/batch cell.  Enforced only when
+#: the machine has at least that many usable cores.
+SHARDED_FLOORS = {2: 1.7, 4: 3.0}
+
+#: shards=1 must not cost anything beyond measurement noise: its q/s
+#: may not fall below compiled/batch divided by this tolerance.
+DELEGATION_TOLERANCE = 1.3
+
+
+def usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
 
 def build_scene(config: PipelineConfig):
     """Domain + compiled form + a mixed query battery."""
@@ -115,7 +155,7 @@ def build_scene(config: PipelineConfig):
     network = sampled_network(domain, chosen, name=f"quadtree-m{m}")
     form = network.build_form(columns)
     queries = make_battery(domain, workload.horizon)
-    return network, form, queries
+    return network, form, columns, queries
 
 
 def make_battery(domain, horizon, n_boxes: int = N_BOXES):
@@ -141,13 +181,14 @@ def make_battery(domain, horizon, n_boxes: int = N_BOXES):
 def measure(scale: str, repeats: int) -> dict:
     """Best-of-N timings for every planner x mode cell."""
     config = SCALES[scale]
-    network, form, queries = build_scene(config)
+    network, form, columns, queries = build_scene(config)
 
     entry = {
         "scale": scale,
         "blocks": config.blocks,
         "n_trips": config.n_trips,
         "n_queries": len(queries),
+        "cores": usable_cores(),
         "cells": {},
     }
     reference = None
@@ -177,9 +218,38 @@ def measure(scale: str, repeats: int) -> dict:
             "queries_per_s": len(queries) / best,
             "answered": answered,
         }
+    for shards, workers in SHARD_GRID:
+        with ShardedQueryEngine(
+            network, columns, shards=shards, workers=workers
+        ) as engine:
+            results = engine.execute_batch(queries)  # warm workers
+            best = None
+            for _ in range(repeats):
+                t0 = time.perf_counter()
+                results = engine.execute_batch(queries)
+                elapsed = time.perf_counter() - t0
+                best = elapsed if best is None else min(best, elapsed)
+        cell = f"sharded/s{shards}w{workers}"
+        assert [
+            (r.value, r.missed, r.regions) for r in results
+        ] == reference, f"{cell} diverged from the baseline"
+        entry["cells"][cell] = {
+            "seconds": best,
+            "queries_per_s": len(queries) / best,
+            "answered": sum(1 for r in results if not r.missed),
+            "shards": shards,
+            "workers": workers,
+        }
     baseline = entry["cells"]["python/single"]["queries_per_s"]
     headline = entry["cells"]["compiled/batch"]["queries_per_s"]
     entry["speedup"] = headline / baseline
+    entry["sharded_speedup"] = {
+        str(workers): entry["cells"][f"sharded/s{shards}w{workers}"][
+            "queries_per_s"
+        ] / headline
+        for shards, workers in SHARD_GRID
+        if workers >= 2
+    }
     return entry
 
 
@@ -199,6 +269,12 @@ def format_entry(entry: dict) -> str:
         f"compiled/batch speedup over python/single (PR 3 baseline): "
         f"{entry['speedup']:.2f}x"
     )
+    for workers, ratio in entry.get("sharded_speedup", {}).items():
+        lines.append(
+            f"sharded speedup at {workers} workers over compiled/batch: "
+            f"{ratio:.2f}x  (measured on {entry.get('cores', '?')} "
+            "usable cores)"
+        )
     return "\n".join(lines)
 
 
@@ -236,6 +312,54 @@ def check_regression(entry: dict, baseline: dict) -> int:
             f"(floor {SPEEDUP_FLOOR:.1f}x) {verdict}"
         )
         if entry["speedup"] < SPEEDUP_FLOOR:
+            status = 1
+    status |= check_sharded(entry)
+    return status
+
+
+def check_sharded(entry: dict) -> int:
+    """Core-aware sharded scaling gate.
+
+    The shards=1 no-regression bound always applies: delegation to
+    the single-process engine must not cost more than measurement
+    noise.  The 2- and 4-worker scaling floors are physical claims
+    about parallel hardware, so each is enforced only when the
+    machine has at least that many usable cores.
+    """
+    status = 0
+    headline = entry["cells"]["compiled/batch"]["queries_per_s"]
+    delegated = entry["cells"]["sharded/s1w1"]["queries_per_s"]
+    floor = headline / DELEGATION_TOLERANCE
+    verdict = "ok" if delegated >= floor else "REGRESSION"
+    print(
+        f"sharded/s1w1 (delegation): {delegated:,.0f} queries/s "
+        f"(compiled/batch {headline:,.0f}, floor {floor:,.0f}) {verdict}"
+    )
+    if delegated < floor:
+        status = 1
+    cores = entry["cores"]
+    for (shards, workers) in SHARD_GRID:
+        if workers < 2:
+            continue
+        ratio = entry["cells"][f"sharded/s{shards}w{workers}"][
+            "queries_per_s"
+        ] / headline
+        required = SHARDED_FLOORS[workers]
+        if cores < workers:
+            print(
+                f"sharded/s{shards}w{workers}: {ratio:.2f}x over "
+                f"compiled/batch — SKIPPING the {required:.1f}x floor: "
+                f"only {cores} usable core(s), the multi-core scaling "
+                f"claim needs >= {workers}"
+            )
+            continue
+        verdict = "ok" if ratio >= required else "REGRESSION"
+        print(
+            f"sharded/s{shards}w{workers}: {ratio:.2f}x over "
+            f"compiled/batch (floor {required:.1f}x on {cores} cores) "
+            f"{verdict}"
+        )
+        if ratio < required:
             status = 1
     return status
 

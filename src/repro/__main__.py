@@ -72,7 +72,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     network = framework.deploy(
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, planner=args.planner,
-                        seed=args.seed)
+                        shards=args.shards, seed=args.seed)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -100,6 +100,13 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         log.info(f"faults: {args.faults:.0%} sensor failure, "
                  f"{args.faults / 2:.0%} message drop "
                  f"({len(injector.crashed)} sensors down)")
+
+    if args.shards > 1 and injector is None:
+        sharded = framework.engine()
+        layout = sharded.describe()
+        log.info(f"sharded: {layout['shards']} districts over "
+                 f"{layout['workers']} workers, events/shard "
+                 f"{layout.get('events_per_shard')}")
 
     box = BBox.from_center(domain.bounds.center,
                            domain.bounds.width * 0.45,
@@ -139,6 +146,7 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             with open(args.metrics, "w") as handle:
                 handle.write(obs.metrics.to_prometheus())
             log.info(f"metrics: wrote {args.metrics}")
+    framework.close()
     return 0
 
 
@@ -409,6 +417,9 @@ def build_parser() -> argparse.ArgumentParser:
                       help="query resolution pipeline: compiled CSR "
                            "indexes or the reference python path "
                            "(auto compiles when the store supports it)")
+    demo.add_argument("--shards", type=int, default=1,
+                      help="district shards for scatter-gather querying "
+                           "(>1 enables the sharded engine)")
     demo.add_argument("--seed", type=int, default=7)
     demo.add_argument("--faults", type=float, default=0.0, metavar="P",
                       help="inject faults: P is the sensor crash rate "

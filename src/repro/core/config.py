@@ -6,6 +6,10 @@ from dataclasses import dataclass
 
 from ..errors import ConfigurationError
 
+#: Districts used by ``planner="sharded"`` when ``shards`` is left at
+#: its default of 1.
+DEFAULT_SHARDS = 4
+
 
 @dataclass(frozen=True)
 class FrameworkConfig:
@@ -19,7 +23,14 @@ class FrameworkConfig:
     one of the learned models (``linear``, ``polynomial``,
     ``piecewise``, ``histogram``) from §4.8.  ``planner`` picks the
     query resolution pipeline: ``auto`` (compiled whenever the store
-    supports id-native integration), ``compiled`` or ``python``.
+    supports id-native integration), ``compiled``, ``python`` or
+    ``sharded`` (scatter-gather over district shards,
+    :class:`~repro.query.ShardedQueryEngine`).  ``shards`` sets the
+    district count for the sharded engine; any value > 1 turns
+    sharding on regardless of ``planner`` (and ``planner="sharded"``
+    with the default ``shards`` uses :data:`DEFAULT_SHARDS`
+    districts).  Sharding requires the exact store — learned models
+    are not sharded.
     """
 
     selector: str = "quadtree"
@@ -28,6 +39,7 @@ class FrameworkConfig:
     knn_k: int = 5
     store: str = "exact"
     planner: str = "auto"
+    shards: int = 1
     seed: int = 0
 
     _SELECTORS = (
@@ -61,12 +73,31 @@ class FrameworkConfig:
             raise ConfigurationError(
                 f"unknown store {self.store!r}; choose from {self._STORES}"
             )
-        if self.planner not in ("auto", "compiled", "python"):
+        if self.planner not in ("auto", "compiled", "python", "sharded"):
             raise ConfigurationError(
                 f"unknown planner {self.planner!r}; "
-                "choose from ('auto', 'compiled', 'python')"
+                "choose from ('auto', 'compiled', 'python', 'sharded')"
             )
         if self.budget < 2:
             raise ConfigurationError("budget must be at least 2 sensors")
         if self.knn_k < 1:
             raise ConfigurationError("knn_k must be >= 1")
+        if self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.sharded and self.store != "exact":
+            raise ConfigurationError(
+                "sharded querying requires store='exact' (learned "
+                "models are not sharded)"
+            )
+
+    @property
+    def sharded(self) -> bool:
+        """Whether queries run through the sharded engine."""
+        return self.planner == "sharded" or self.shards > 1
+
+    @property
+    def effective_shards(self) -> int:
+        """District count the sharded engine will use."""
+        if self.shards > 1:
+            return self.shards
+        return DEFAULT_SHARDS if self.planner == "sharded" else 1

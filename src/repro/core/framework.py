@@ -35,7 +35,14 @@ from ..models import (
 )
 from ..obs import Instrumentation, NULL_INSTRUMENTATION, get_registry
 from ..planar import NodeId, PlanarGraph
-from ..query import LOWER, STATIC, QueryEngine, QueryResult, RangeQuery
+from ..query import (
+    LOWER,
+    STATIC,
+    QueryEngine,
+    QueryResult,
+    RangeQuery,
+    ShardedQueryEngine,
+)
 from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
 from ..selection import (
     KDTreeSelector,
@@ -78,6 +85,8 @@ class InNetworkFramework:
         self._form: Optional[TrackingForm] = None
         self._full_form: Optional[TrackingForm] = None
         self._store: Optional[EdgeCountStore] = None
+        self._columns: Optional[EventColumns] = None
+        self._sharded: Optional[ShardedQueryEngine] = None
         with self.obs.tracer.span("deploy.full_reference_network"):
             self._full = full_network(domain)
         self._query_history: List[Set[NodeId]] = []
@@ -196,6 +205,7 @@ class InNetworkFramework:
             self.network = network
             self._form = None
             self._store = None
+            self._drop_sharded()
             if self._events:
                 self._rebuild_stores()
         return network
@@ -221,10 +231,19 @@ class InNetworkFramework:
         ).inc(len(events))
         return len(events)
 
+    def _drop_sharded(self) -> None:
+        """Invalidate the cached sharded engine (its shards no longer
+        reflect the deployed network or ingested events)."""
+        if self._sharded is not None:
+            self._sharded.close()
+            self._sharded = None
+
     def _rebuild_stores(self) -> None:
         tracer = self.obs.tracer
+        self._drop_sharded()
         with tracer.span("ingest.columnarize", events=len(self._events)):
             columns = EventColumns.from_events(self.domain, self._events)
+        self._columns = columns
         with tracer.span("ingest.build_form", network="full"):
             self._full_form = self._full.build_form(columns)
         if self.network is None:
@@ -254,24 +273,56 @@ class InNetworkFramework:
         faults: Optional[FaultInjector] = None,
         dispatch_strategy: str = "perimeter_walk",
         retry_policy: Optional[RetryPolicy] = None,
-    ) -> QueryEngine:
+        sharded: Optional[bool] = None,
+    ):
         """A query engine over the deployed network and current store.
 
         ``query()`` builds one per call; monitoring loops and EXPLAIN
         want a persistent engine so the dispatcher (and its fault
         telemetry) survives across queries.
+
+        With a sharded config (``shards=N`` or ``planner="sharded"``)
+        and no fault injector this returns the framework's cached
+        :class:`~repro.query.ShardedQueryEngine` — one partition and
+        worker pool shared across calls, invalidated on re-deploy or
+        re-ingest, released by :meth:`close`.  Fault injection always
+        runs the single-process engine: degraded dispatch consumes the
+        injector's per-query attempt stream, which does not decompose
+        over shards.  Pass ``sharded=False`` to force the
+        single-process engine (EXPLAIN does).
         """
         if self.network is None or self._store is None:
             raise QueryError("deploy() and ingest first")
+        config = self.config
+        if sharded is None:
+            sharded = config is not None and config.sharded
+        if sharded and faults is None:
+            if self._sharded is None or self._sharded.closed:
+                self._sharded = ShardedQueryEngine(
+                    self.network,
+                    self._columns,
+                    shards=config.effective_shards,
+                    instrumentation=self.obs,
+                    store=self._store,
+                    seed=config.seed,
+                )
+            return self._sharded
+        planner = config.planner if config is not None else "auto"
         return QueryEngine(
             self.network,
             self._store,
-            planner=self.config.planner if self.config is not None else "auto",
+            planner="auto" if planner == "sharded" else planner,
             instrumentation=self.obs,
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
         )
+
+    def close(self) -> None:
+        """Release pooled resources (the cached sharded engine's
+        worker processes and shared-memory segments).  The framework
+        stays usable; the next sharded query rebuilds the engine."""
+        self._drop_sharded()
 
     def query(
         self,
@@ -310,11 +361,16 @@ class InNetworkFramework:
         retry_policy: Optional[RetryPolicy] = None,
     ):
         """EXPLAIN one query: execute it with provenance forced on and
-        return the measured :class:`~repro.obs.QueryExplain` plan."""
+        return the measured :class:`~repro.obs.QueryExplain` plan.
+
+        Always measured on the single-process engine — a scatter to
+        worker processes has no single measured phase breakdown.
+        """
         engine = self.engine(
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
+            sharded=False,
         )
         return engine.explain(
             RangeQuery(box, t1, t2, kind=kind, bound=bound)

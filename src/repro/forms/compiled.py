@@ -87,6 +87,14 @@ class CompiledTrackingForm:
         self._values = (values[0], values[1])
         self._offsets = (offsets[0], offsets[1])
 
+        self._init_runtime_state(boundary_cache_size)
+
+    def _init_runtime_state(self, boundary_cache_size: int) -> None:
+        """Per-instance mutable state: boundary cache + metric refs.
+
+        Shared by the compiling constructor and the zero-copy
+        :meth:`shm_attach` path (which bypasses ``__init__``).
+        """
         #: Compiled boundary chains, LRU-ordered (least recently used
         #: first).  Keys are either ``tuple(chain)`` of directed edges
         #: (legacy path) or the ``(wall_ids, signs)`` byte digest of an
@@ -145,6 +153,64 @@ class CompiledTrackingForm:
         # Per-(edge, direction) segments are already sorted; global time
         # order is not required by the CSR build.
         return cls(interner, edge_id, direction, t)
+
+    # ------------------------------------------------------------------
+    # Shared-memory interop (the sharded engine's zero-copy transport)
+    # ------------------------------------------------------------------
+    def shm_pack(self, hint: str = "form"):
+        """Copy the compiled CSR arrays into a shared-memory segment.
+
+        Returns ``(handle, descriptor)``.  The descriptor is JSON-safe
+        — segment name, per-array ``(dtype, shape, offset)`` and the
+        compile-time id universe ``n_ids`` — and another process turns
+        it back into a working form with :meth:`shm_attach` without
+        re-sorting anything.  The caller owns the segment: close and
+        unlink it (:func:`repro.shm.destroy_segment`) once every
+        attached consumer is done.
+        """
+        from .. import shm as shm_mod
+
+        handle, descriptor = shm_mod.pack_arrays(
+            {
+                "values0": self._values[0],
+                "values1": self._values[1],
+                "offsets0": self._offsets[0],
+                "offsets1": self._offsets[1],
+            },
+            hint=hint,
+        )
+        descriptor["n_ids"] = int(self._n_ids)
+        return handle, descriptor
+
+    @classmethod
+    def shm_attach(
+        cls,
+        descriptor,
+        interner: "EdgeInterner",
+        boundary_cache_size: int = DEFAULT_BOUNDARY_CACHE_SIZE,
+    ) -> "CompiledTrackingForm":
+        """Zero-copy form over a :meth:`shm_pack` descriptor.
+
+        The CSR arrays are numpy views straight into the packing
+        process's segment; only the boundary cache and metric bindings
+        are local.  ``n_ids`` comes from the descriptor (the packing
+        form's frozen id universe), *not* from the current interner
+        length — the shared interner may have grown since the pack, and
+        those newer edges must keep reading as "no events" exactly as
+        they do on the packing side.
+        """
+        from .. import shm as shm_mod
+
+        handle, views = shm_mod.attach_arrays(descriptor)
+        form = cls.__new__(cls)
+        form._interner = interner
+        form._n_ids = int(descriptor["n_ids"])
+        form._values = (views["values0"], views["values1"])
+        form._offsets = (views["offsets0"], views["offsets1"])
+        form._init_runtime_state(boundary_cache_size)
+        # Pin the mapping for the lifetime of the form.
+        form._shm_handle = handle
+        return form
 
     # ------------------------------------------------------------------
     # Per-edge count function C(γ(e), t) (§4.7.3)

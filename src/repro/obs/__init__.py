@@ -40,6 +40,7 @@ from .metrics import (
     NULL_REGISTRY,
     NullMetricsRegistry,
     SECONDS_BUCKETS,
+    diff_dumps,
     get_registry,
     set_registry,
     use_registry,

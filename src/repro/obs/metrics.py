@@ -220,6 +220,90 @@ class MetricsRegistry:
             yield name, dict(labels), hist
 
     # ------------------------------------------------------------------
+    # Structured dumps and cross-process merging
+    # ------------------------------------------------------------------
+    def dump(self) -> Dict[str, Any]:
+        """Round-trippable instrument dump (unlike :meth:`snapshot`,
+        which flattens labels into display names).
+
+        Each entry keeps ``(name, labels, state)`` separately so
+        :meth:`absorb` can re-key it into another registry — the
+        transport the sharded query engine uses to merge worker-process
+        metrics into the parent registry.  JSON-safe and picklable.
+        """
+        return {
+            "counters": [
+                [name, list(labels), counter.value]
+                for (name, labels), counter in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, list(labels), gauge.value]
+                for (name, labels), gauge in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [
+                    name,
+                    list(labels),
+                    {
+                        "uppers": list(hist.uppers),
+                        "counts": list(hist.counts),
+                        "sum": hist.sum,
+                        "count": hist.count,
+                    },
+                ]
+                for (name, labels), hist in sorted(self._histograms.items())
+            ],
+            "help": dict(self._help),
+        }
+
+    def absorb(
+        self, dump: Dict[str, Any], skip: Sequence[str] = ()
+    ) -> None:
+        """Merge a :meth:`dump` (or :func:`diff_dumps` delta) into this
+        registry: counters and histogram buckets *add*, gauges take the
+        dumped value.  Metric names in ``skip`` are ignored — the
+        sharded engine uses this to keep per-query accounting it
+        already did in the parent from being double counted.
+        """
+        skipped = set(skip)
+        for name, labels, value in dump.get("counters", ()):
+            if name in skipped or not value:
+                continue
+            key = (name, tuple((k, v) for k, v in labels))
+            counter = self._counters.get(key)
+            if counter is None:
+                counter = self._counters[key] = Counter(name, key[1])
+            counter.value += value
+        for name, labels, value in dump.get("gauges", ()):
+            if name in skipped:
+                continue
+            key = (name, tuple((k, v) for k, v in labels))
+            gauge = self._gauges.get(key)
+            if gauge is None:
+                gauge = self._gauges[key] = Gauge(name, key[1])
+            gauge.value = value
+        for name, labels, state in dump.get("histograms", ()):
+            if name in skipped or not state["count"]:
+                continue
+            key = (name, tuple((k, v) for k, v in labels))
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = Histogram(
+                    name, key[1], buckets=state["uppers"]
+                )
+            if tuple(hist.uppers) != tuple(state["uppers"]):
+                raise ValueError(
+                    f"histogram {name} bucket mismatch: "
+                    f"{hist.uppers} vs {tuple(state['uppers'])}"
+                )
+            for i, count in enumerate(state["counts"]):
+                hist.counts[i] += count
+            hist.sum += state["sum"]
+            hist.count += state["count"]
+        for name, text in dump.get("help", {}).items():
+            self._help.setdefault(name, text)
+
+    # ------------------------------------------------------------------
     # Exports
     # ------------------------------------------------------------------
     def snapshot(self) -> Dict[str, Any]:
@@ -372,6 +456,69 @@ def use_registry(registry: Optional[MetricsRegistry] = None) -> Iterator[Metrics
         yield registry
     finally:
         set_registry(previous)
+
+
+def diff_dumps(
+    new: Dict[str, Any], old: Optional[Dict[str, Any]]
+) -> Dict[str, Any]:
+    """The delta between two :meth:`MetricsRegistry.dump` snapshots.
+
+    Counters and histogram states subtract (instruments absent from
+    ``old`` pass through whole); gauges keep the latest value.  Feeding
+    the result to :meth:`MetricsRegistry.absorb` applies exactly the
+    activity that happened between the two dumps — how a long-lived
+    worker process ships each batch's metrics without resending its
+    lifetime totals.
+    """
+    if old is None:
+        return new
+
+    def keyed(entries):
+        return {(name, tuple(map(tuple, labels))): state
+                for name, labels, state in entries}
+
+    old_counters = keyed(old.get("counters", ()))
+    counters = []
+    for name, labels, value in new.get("counters", ()):
+        delta = value - old_counters.get(
+            (name, tuple(map(tuple, labels))), 0
+        )
+        if delta:
+            counters.append([name, labels, delta])
+
+    old_hists = keyed(old.get("histograms", ()))
+    histograms = []
+    for name, labels, state in new.get("histograms", ()):
+        previous = old_hists.get((name, tuple(map(tuple, labels))))
+        if previous is None:
+            if state["count"]:
+                histograms.append([name, labels, state])
+            continue
+        count = state["count"] - previous["count"]
+        if not count:
+            continue
+        histograms.append(
+            [
+                name,
+                labels,
+                {
+                    "uppers": state["uppers"],
+                    "counts": [
+                        n - o
+                        for n, o in zip(state["counts"], previous["counts"])
+                    ],
+                    "sum": state["sum"] - previous["sum"],
+                    "count": count,
+                },
+            ]
+        )
+
+    return {
+        "counters": counters,
+        "gauges": [list(entry) for entry in new.get("gauges", ())],
+        "histograms": histograms,
+        "help": dict(new.get("help", {})),
+    }
 
 
 # ----------------------------------------------------------------------

@@ -8,6 +8,7 @@ from .engine import (
     QueryEngine,
 )
 from .planner import BoundaryChain, CompiledQueryPlanner
+from .sharded import ShardedQueryEngine, shard_of_edges
 from .result import (
     LOWER,
     STATIC,
@@ -31,6 +32,8 @@ __all__ = [
     "RangeQuery",
     "RegionState",
     "STATIC",
+    "ShardedQueryEngine",
+    "shard_of_edges",
     "STATIC_EVAL_MODES",
     "TRANSIENT",
     "UPPER",

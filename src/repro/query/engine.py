@@ -388,6 +388,15 @@ class QueryEngine:
         timestamp evaluated against it.  Results are identical to
         :meth:`execute_many`.
 
+        **Ordering contract**: ``results[i]`` answers ``queries[i]``
+        for every ``i``, whatever the internal evaluation order.  The
+        sharded engine (:class:`~repro.query.ShardedQueryEngine`)
+        relies on this when it scatters sub-batches — workers may
+        complete in any interleaving, but each sub-batch comes back in
+        its own input order and the parent re-slots by input index.
+        The contract is asserted on exit here and in the sharded
+        gather.
+
         Timing attribution: shared cache-fill work is metered
         *separately* from per-query work.  Each result's ``elapsed``
         covers only the work done for that query (integration plus
@@ -591,6 +600,10 @@ class QueryEngine:
                         provenance=provenance,
                     )
                 )
+        assert len(results) == len(queries) and all(
+            result.query is query
+            for result, query in zip(results, queries)
+        ), "execute_batch broke the input-order result contract"
         return results
 
     # ------------------------------------------------------------------

@@ -1,0 +1,713 @@
+"""The sharded scatter-gather query engine (district-parallel reads).
+
+:class:`ShardedQueryEngine` runs the compiled read path across worker
+processes by exploiting the same spatial decomposition the paper's
+in-network design rests on: events partition cleanly by the *district*
+their wall lies in, and the signed boundary integral of Theorems
+4.2/4.3 is **linear over events** — so the exact answer of any query
+is the sum of the per-shard answers over the shards whose events can
+touch its boundary.
+
+Pipeline:
+
+1. **Partition** (construction time): the mobility domain is split
+   into K districts (:class:`~repro.mobility.Strata` Voronoi seeds, or
+   caller-provided strata); every monitored wall — and therefore every
+   observed event — is assigned to the district containing its
+   midpoint.  Each shard's event slice is compiled into its own
+   :class:`~repro.forms.CompiledTrackingForm` and packed into a
+   :mod:`multiprocessing.shared_memory` segment (:mod:`repro.shm`), so
+   workers attach zero-copy views instead of unpickling megabytes.
+2. **Route** (per query): the parent resolves bbox → junctions →
+   region approximation with its own
+   :class:`~repro.query.CompiledQueryPlanner`, then consults a
+   precomputed region×shard reachability table (shard *s* can reach
+   region *r* iff *s* holds at least one event on a wall adjacent to
+   *r*).  Misses are answered locally; queries no shard can affect are
+   answered locally with value 0 and exact structural accounting.
+3. **Scatter/gather**: per-shard sub-batches run a stock
+   :class:`~repro.query.QueryEngine` ``execute_batch`` over the
+   shard's attached form; the parent sums per-shard values (elementwise
+   then ``min`` for ``static_eval="min"``, which is *not* linear and
+   must be folded over the summed endpoint totals) and re-emits results
+   **in input order**, field-identical to the single-process compiled
+   planner: same values, misses, region ids and edge/sensor/hop
+   accounting.  Only timing fields (``elapsed``, ``cache_served``,
+   provenance) differ, as they describe a different execution shape.
+
+Metrics: the parent accounts the canonical per-query series
+(``repro_queries_total``, misses, sensors/edges, latency) exactly once
+per query; worker registries ship per-call deltas
+(:func:`repro.obs.metrics.diff_dumps`) that the parent absorbs with
+those canonical names skipped, so internal counters (searchsorted
+calls, boundary-cache outcomes, batch-cache hits) stay visible without
+fan-out double counting.
+
+Delegation: ``shards=1``, ``workers=0`` and fault-injecting engines
+run the single-process :class:`~repro.query.QueryEngine` directly —
+faulty dispatch consumes the injector's per-query attempt stream,
+which does not decompose over shards.
+
+Lifecycle: the engine owns its segments and worker pool.  Use it as a
+context manager or call :meth:`ShardedQueryEngine.close`; a
+``weakref.finalize`` (which also registers atexit) guarantees the
+``/dev/shm`` segments are unlinked even on abandoned engines or
+worker crashes.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+import weakref
+from concurrent.futures import as_completed, ProcessPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QueryError
+from ..forms import CompiledTrackingForm
+from ..mobility import EXT, Strata, voronoi_strata
+from ..network.faults import FaultInjector, RetryPolicy
+from ..obs import (
+    Instrumentation,
+    MetricsRegistry,
+    NULL_INSTRUMENTATION,
+    SECONDS_BUCKETS,
+    get_registry,
+    set_registry,
+)
+from ..obs.metrics import diff_dumps
+from ..sampling import SensorNetwork
+from ..shm import destroy_segment
+from ..trajectories import EventColumns
+from .engine import QueryEngine, STATIC_EVAL_MODES
+from .planner import CompiledQueryPlanner
+from .result import STATIC, QueryResult, RangeQuery
+
+#: Per-query metric names the parent accounts canonically; worker
+#: dumps are absorbed with these skipped so a query scattered to k
+#: shards is still counted once.
+PARENT_ACCOUNTED_METRICS = (
+    "repro_queries_total",
+    "repro_query_misses_total",
+    "repro_query_seconds_total",
+    "repro_query_latency_seconds",
+    "repro_query_sensors_accessed_total",
+    "repro_query_edges_accessed_total",
+    "repro_query_batch_fill_seconds_total",
+)
+
+
+def shard_of_edges(domain, strata: Strata) -> np.ndarray:
+    """District label per interned edge id, by wall midpoint.
+
+    Geofence (EXT) walls sit on the domain rim; they take the district
+    of their junction endpoint.  The labelling depends only on the
+    domain geometry and the strata seeds, so every process derives the
+    same partition.
+    """
+    interner = domain.edge_interner
+    n = len(interner)
+    points = np.empty((n, 2), dtype=float)
+    edge_of = interner.edge
+    position = domain.position
+    for eid in range(n):
+        u, v = edge_of(eid)
+        if u == EXT:
+            points[eid] = position(v)
+        elif v == EXT:
+            points[eid] = position(u)
+        else:
+            ux, uy = position(u)
+            vx, vy = position(v)
+            points[eid] = ((ux + vx) / 2.0, (uy + vy) / 2.0)
+    return strata.assign(points)
+
+
+# ----------------------------------------------------------------------
+# Worker side: one process-global context per pool worker
+# ----------------------------------------------------------------------
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(
+    network: SensorNetwork,
+    descriptors: Sequence[dict],
+    static_eval: str,
+    access_mode: str,
+    collect_metrics: bool,
+) -> None:
+    """Pool initializer: fresh registry + lazy per-shard engine slots.
+
+    A forked worker inherits the parent's process-global registry
+    *values*; swapping in a fresh registry before any engine is built
+    makes the per-call dumps pure deltas of this worker's own work.
+    """
+    set_registry(MetricsRegistry())
+    _WORKER.clear()
+    _WORKER.update(
+        network=network,
+        descriptors=list(descriptors),
+        static_eval=static_eval,
+        access_mode=access_mode,
+        collect_metrics=collect_metrics,
+        forms={},
+        engines={},
+        last_dump=None,
+    )
+
+
+def _worker_engine(shard: int, static_eval: str) -> QueryEngine:
+    engines: Dict[Tuple[int, str], QueryEngine] = _WORKER["engines"]
+    key = (shard, static_eval)
+    engine = engines.get(key)
+    if engine is None:
+        forms: Dict[int, CompiledTrackingForm] = _WORKER["forms"]
+        form = forms.get(shard)
+        if form is None:
+            network: SensorNetwork = _WORKER["network"]
+            form = CompiledTrackingForm.shm_attach(
+                _WORKER["descriptors"][shard],
+                network.domain.edge_interner,
+            )
+            forms[shard] = form
+        engine = QueryEngine(
+            _WORKER["network"],
+            form,
+            access_mode=str(_WORKER["access_mode"]),
+            static_eval=static_eval,
+            planner="compiled",
+        )
+        engines[key] = engine
+    return engine
+
+
+def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
+    """Execute a sub-batch on one shard; return (shard, payload, dump).
+
+    Payload rows are ``(index, partial_values, edges, nodes)`` where
+    ``partial_values`` has two entries — the start/end snapshot sums —
+    for static queries under ``static_eval="min"`` (min does not
+    distribute over the shard sum; the parent folds it over the summed
+    endpoint totals) and one entry otherwise.
+    """
+    queries = [query for _, query in indexed]
+    static_eval = str(_WORKER["static_eval"])
+    payload: List[Tuple[int, Tuple[float, ...], int, int]] = []
+    if static_eval == "min":
+        starts = _worker_engine(shard, "start").execute_batch(queries)
+        ends = _worker_engine(shard, "end").execute_batch(queries)
+        for (index, query), r_start, r_end in zip(indexed, starts, ends):
+            if r_end.missed:
+                raise QueryError(
+                    f"shard {shard} missed a query the router answered"
+                )
+            if query.kind == STATIC:
+                values = (r_start.value, r_end.value)
+            else:
+                values = (r_end.value,)
+            payload.append(
+                (index, values, r_end.edges_accessed, r_end.nodes_accessed)
+            )
+    else:
+        results = _worker_engine(shard, static_eval).execute_batch(queries)
+        for (index, _), result in zip(indexed, results):
+            if result.missed:
+                raise QueryError(
+                    f"shard {shard} missed a query the router answered"
+                )
+            payload.append(
+                (
+                    index,
+                    (result.value,),
+                    result.edges_accessed,
+                    result.nodes_accessed,
+                )
+            )
+    dump = None
+    if _WORKER["collect_metrics"]:
+        current = get_registry().dump()
+        dump = diff_dumps(current, _WORKER["last_dump"])
+        _WORKER["last_dump"] = current
+    return shard, payload, dump
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+def _release(executor: Optional[ProcessPoolExecutor], segments: list) -> None:
+    """Tear down a pool and unlink owned segments (finalizer-safe)."""
+    if executor is not None:
+        try:
+            executor.shutdown(wait=True, cancel_futures=True)
+        except Exception:
+            pass
+    while segments:
+        destroy_segment(segments.pop())
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+class ShardedQueryEngine:
+    """Scatter-gather query execution over K district shards.
+
+    Drop-in for the read surface of :class:`~repro.query.QueryEngine`
+    (``execute`` / ``execute_many`` / ``execute_batch``) with exact
+    results; built for *batch* traffic — single queries pay the
+    scatter round trip.
+    """
+
+    def __init__(
+        self,
+        network: SensorNetwork,
+        columns: EventColumns,
+        shards: int = 4,
+        workers: Optional[int] = None,
+        strata: Optional[Strata] = None,
+        access_mode: str = "perimeter",
+        static_eval: str = "end",
+        instrumentation: Optional[Instrumentation] = None,
+        faults: Optional[FaultInjector] = None,
+        dispatch_strategy: str = "perimeter_walk",
+        retry_policy: Optional[RetryPolicy] = None,
+        store=None,
+        seed: int = 0,
+        collect_worker_metrics: bool = True,
+    ) -> None:
+        if not isinstance(columns, EventColumns):
+            raise QueryError(
+                "ShardedQueryEngine needs columnar events (EventColumns)"
+            )
+        if strata is not None:
+            shards = strata.count
+        if shards < 1:
+            raise QueryError("shards must be >= 1")
+        if static_eval not in STATIC_EVAL_MODES:
+            raise QueryError(f"unknown static_eval {static_eval!r}")
+        self.network = network
+        self.shards = int(shards)
+        self.access_mode = access_mode
+        self.static_eval = static_eval
+        self.obs = (
+            instrumentation
+            if instrumentation is not None
+            else NULL_INSTRUMENTATION
+        )
+        self._registry = get_registry()
+        self._bind_metrics()
+
+        if workers is None:
+            workers = min(self.shards, max(_usable_cores(), 1))
+        self.workers = max(int(workers), 0)
+
+        self._segments: list = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._delegate: Optional[QueryEngine] = None
+        self._planner: Optional[CompiledQueryPlanner] = None
+
+        # Paths that cannot (faults) or should not (a single shard, no
+        # workers) fan out run the stock single-process engine over the
+        # full form — same network, same store semantics, zero IPC.
+        if faults is not None or self.shards == 1 or self.workers == 0:
+            self._delegate = QueryEngine(
+                network,
+                store if store is not None else network.build_form(columns),
+                access_mode=access_mode,
+                static_eval=static_eval,
+                instrumentation=instrumentation,
+                faults=faults,
+                dispatch_strategy=dispatch_strategy,
+                retry_policy=retry_policy,
+            )
+            self._finalizer = weakref.finalize(
+                self, _release, None, self._segments
+            )
+            return
+
+        if strata is None:
+            strata = voronoi_strata(
+                network.domain.bounds,
+                districts=self.shards,
+                rng=np.random.default_rng(seed),
+            )
+        self.strata = strata
+
+        tracer = self.obs.tracer
+        with tracer.span("sharded.partition", shards=self.shards):
+            self._shard_of_edge = shard_of_edges(network.domain, strata)
+            observed = network.observed_columns(columns)
+            labels = self._shard_of_edge[observed.edge_id]
+            self.shard_events: List[int] = []
+            shard_edge_ids: List[np.ndarray] = []
+            descriptors: List[dict] = []
+            for shard in range(self.shards):
+                part = observed.select(np.flatnonzero(labels == shard))
+                self.shard_events.append(len(part))
+                shard_edge_ids.append(np.unique(part.edge_id))
+                form = CompiledTrackingForm(
+                    columns.interner, part.edge_id, part.direction, part.t
+                )
+                handle, descriptor = form.shm_pack(hint=f"shard{shard}")
+                self._segments.append(handle)
+                descriptors.append(descriptor)
+
+        with tracer.span("sharded.route_table"):
+            self._planner = CompiledQueryPlanner(network)
+            index = network.compiled_index()
+            entry_region = np.repeat(
+                np.arange(index.n_regions, dtype=np.int64),
+                np.diff(index.rw_offsets),
+            )
+            n_ids = len(network.domain.edge_interner)
+            region_shards = np.zeros(
+                (index.n_regions, self.shards), dtype=bool
+            )
+            for shard, edge_ids in enumerate(shard_edge_ids):
+                present = np.zeros(n_ids, dtype=bool)
+                present[edge_ids] = True
+                hit = present[index.rw_wall_ids]
+                if hit.any():
+                    region_shards[np.unique(entry_region[hit]), shard] = True
+            self._region_shards = region_shards
+
+        context = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            context = multiprocessing.get_context("fork")
+        self._executor = ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=context,
+            initializer=_worker_init,
+            initargs=(
+                network,
+                descriptors,
+                static_eval,
+                access_mode,
+                collect_worker_metrics,
+            ),
+        )
+        self._finalizer = weakref.finalize(
+            self, _release, self._executor, self._segments
+        )
+
+    def _bind_metrics(self) -> None:
+        registry = self._registry
+        self._metric_sensors = registry.counter(
+            "repro_query_sensors_accessed_total",
+            help="Communication sensors contacted by answered queries",
+        )
+        self._metric_edges = registry.counter(
+            "repro_query_edges_accessed_total",
+            help="Boundary walls integrated by answered queries",
+        )
+        self._metric_seconds = registry.counter(
+            "repro_query_seconds_total",
+            help="Wall seconds spent executing queries",
+        )
+        self._metric_latency = registry.histogram(
+            "repro_query_latency_seconds",
+            buckets=SECONDS_BUCKETS,
+            help="Per-query wall time (answered and missed)",
+        )
+        self._metric_batches = registry.counter(
+            "repro_sharded_batches_total",
+            help="Scatter-gather batches executed by sharded engines",
+        )
+        self._metric_scattered = registry.counter(
+            "repro_sharded_subqueries_total",
+            help="Per-shard sub-queries scattered to workers",
+        )
+        self._metric_fanout = registry.histogram(
+            "repro_sharded_fanout",
+            help="Shards touched per answered query",
+        )
+        self._metric_queries: Dict[Tuple[str, str], object] = {}
+        self._metric_misses: Dict[Tuple[str, str], object] = {}
+
+    def _count(self, table, name, help_text, query: RangeQuery) -> None:
+        key = (query.kind, query.bound)
+        counter = table.get(key)
+        if counter is None:
+            counter = self._registry.counter(
+                name, help=help_text, kind=query.kind, bound=query.bound
+            )
+            table[key] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the pool down and unlink the shared-memory segments.
+
+        Idempotent; also invoked by ``weakref.finalize`` on garbage
+        collection and at interpreter exit, and by ``with`` blocks.
+        """
+        self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def __enter__(self) -> "ShardedQueryEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def domain(self):
+        return self.network.domain
+
+    @property
+    def planner_in_use(self) -> str:
+        if self._delegate is not None:
+            return self._delegate.planner_in_use
+        return "sharded"
+
+    def describe(self) -> Dict[str, object]:
+        """Shard layout summary (CLI and docs)."""
+        if self._delegate is not None:
+            return {
+                "mode": "delegated",
+                "shards": 1,
+                "workers": 0,
+                "planner": self._delegate.planner_in_use,
+            }
+        return {
+            "mode": "sharded",
+            "shards": self.shards,
+            "workers": self.workers,
+            "events_per_shard": list(self.shard_events),
+            "segment_bytes": [s.size for s in self._segments],
+            "reachable_regions_per_shard": [
+                int(c) for c in self._region_shards.sum(axis=0)
+            ],
+        }
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def execute(self, query: RangeQuery) -> QueryResult:
+        """One query through the scatter path (batch traffic amortises
+        the round trip; prefer :meth:`execute_batch`)."""
+        return self.execute_batch([query])[0]
+
+    def execute_many(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[QueryResult]:
+        """Alias of :meth:`execute_batch`: the scatter path is always
+        batched, and the two produce identical result fields."""
+        return self.execute_batch(queries)
+
+    def execute_batch(
+        self, queries: Sequence[RangeQuery]
+    ) -> List[QueryResult]:
+        """Scatter a battery over the touched shards and gather.
+
+        **Ordering contract**: ``results[i]`` answers ``queries[i]``
+        for every ``i`` — results are slotted by input index, so shard
+        completion order (which interleaves freely under the pool)
+        never reorders the output.  Results are field-identical to the
+        single-process compiled planner except for the timing fields:
+        ``elapsed`` is the batch wall time divided evenly over the
+        batch (per-query attribution has no meaning when k shards work
+        concurrently) and ``cache_served``/``provenance`` are not
+        reported.
+        """
+        if self._delegate is not None:
+            return self._delegate.execute_batch(queries)
+        if self.closed:
+            raise QueryError("sharded engine is closed")
+        n = len(queries)
+        tracer = self.obs.tracer
+        planner = self._planner
+        self._metric_batches.inc()
+        pc = time.perf_counter
+        start = pc()
+
+        # Parent-side shared-structure caches, as in the single-process
+        # batched path: one resolution per distinct box / (box, bound).
+        junctions_by_box: Dict[object, np.ndarray] = {}
+        regions_cache: Dict[Tuple[object, str], Optional[Tuple[int, ...]]] = {}
+        chain_cache: Dict[Tuple[int, ...], object] = {}
+        sensors_cache: Dict[Tuple[int, ...], int] = {}
+
+        # Per-slot plan: ("miss",) | ("zero", regions) | ("merge",).
+        plans: List[Tuple] = [()] * n
+        merged: Dict[int, Dict[str, object]] = {}
+        per_shard: Dict[int, List[int]] = {}
+
+        with tracer.span(
+            "query.execute_sharded", queries=n, shards=self.shards
+        ):
+            with tracer.span("sharded.route", queries=n):
+                for i, query in enumerate(queries):
+                    self._count(
+                        self._metric_queries,
+                        "repro_queries_total",
+                        "Queries executed, by kind and bound",
+                        query,
+                    )
+                    box = query.box
+                    junctions = junctions_by_box.get(box)
+                    if junctions is None:
+                        junctions = planner.junction_ids(box)
+                        junctions_by_box[box] = junctions
+                    if not len(junctions):
+                        plans[i] = ("miss",)
+                        continue
+                    region_key = (box, query.bound)
+                    if region_key in regions_cache:
+                        regions = regions_cache[region_key]
+                    else:
+                        regions = planner.region_ids(junctions, query.bound)
+                        regions_cache[region_key] = regions
+                    if regions is None:
+                        plans[i] = ("miss",)
+                        continue
+                    touched = np.flatnonzero(
+                        self._region_shards[np.asarray(regions)].any(axis=0)
+                    )
+                    self._metric_fanout.observe(len(touched))
+                    if not len(touched):
+                        plans[i] = ("zero", regions)
+                        continue
+                    plans[i] = ("merge",)
+                    width = (
+                        2
+                        if (
+                            self.static_eval == "min"
+                            and query.kind == STATIC
+                        )
+                        else 1
+                    )
+                    merged[i] = {
+                        "regions": regions,
+                        "values": [0.0] * width,
+                        "edges": 0,
+                        "nodes": 0,
+                    }
+                    for shard in touched.tolist():
+                        per_shard.setdefault(shard, []).append(i)
+
+            futures = []
+            with tracer.span("sharded.scatter", subbatches=len(per_shard)):
+                for shard, indices in per_shard.items():
+                    self._metric_scattered.inc(len(indices))
+                    futures.append(
+                        self._executor.submit(
+                            _worker_run,
+                            shard,
+                            [(i, queries[i]) for i in indices],
+                        )
+                    )
+            with tracer.span("sharded.gather", subbatches=len(futures)):
+                for future in as_completed(futures):
+                    shard, payload, dump = future.result()
+                    if dump is not None:
+                        self._registry.absorb(
+                            dump, skip=PARENT_ACCOUNTED_METRICS
+                        )
+                    for index, values, edges, nodes in payload:
+                        entry = merged[index]
+                        acc: List[float] = entry["values"]
+                        for j, value in enumerate(values):
+                            acc[j] += value
+                        # Structural accounting is region-determined,
+                        # hence identical across shards.
+                        entry["edges"] = edges
+                        entry["nodes"] = nodes
+
+            elapsed = pc() - start
+            share = elapsed / n if n else 0.0
+            self._metric_seconds.inc(elapsed)
+            results: List[QueryResult] = []
+            for i, query in enumerate(queries):
+                self._metric_latency.observe(share)
+                plan = plans[i]
+                if plan[0] == "miss":
+                    self._count(
+                        self._metric_misses,
+                        "repro_query_misses_total",
+                        "Queries with no region approximation, by kind "
+                        "and bound",
+                        query,
+                    )
+                    results.append(
+                        QueryResult(
+                            query=query, value=0.0, missed=True,
+                            elapsed=share,
+                        )
+                    )
+                    continue
+                if plan[0] == "zero":
+                    regions = plan[1]
+                    edges, nodes = self._zero_accounting(
+                        regions, chain_cache, sensors_cache
+                    )
+                    value = 0.0
+                else:
+                    entry = merged[i]
+                    regions = entry["regions"]
+                    acc = entry["values"]
+                    value = (
+                        float(min(acc)) if len(acc) == 2 else float(acc[0])
+                    )
+                    edges = entry["edges"]
+                    nodes = entry["nodes"]
+                self._metric_edges.inc(edges)
+                self._metric_sensors.inc(nodes)
+                results.append(
+                    QueryResult(
+                        query=query,
+                        value=value,
+                        missed=False,
+                        regions=regions,
+                        edges_accessed=edges,
+                        nodes_accessed=nodes,
+                        hops=edges,
+                        elapsed=share,
+                    )
+                )
+        assert len(results) == n and all(
+            result.query is query
+            for result, query in zip(results, queries)
+        ), "sharded gather broke the input-order result contract"
+        return results
+
+    def _zero_accounting(
+        self,
+        regions: Tuple[int, ...],
+        chain_cache: Dict,
+        sensors_cache: Dict,
+    ) -> Tuple[int, int]:
+        """Edge/sensor accounting for a query no shard can affect.
+
+        The approximation exists but no shard holds events on any wall
+        adjacent to its regions, so the integral is exactly 0; the
+        structural accounting still has to match the single-process
+        engine, so the parent computes the chain itself.
+        """
+        planner = self._planner
+        chain = chain_cache.get(regions)
+        if chain is None:
+            chain = planner.boundary(regions)
+            chain_cache[regions] = chain
+        nodes = sensors_cache.get(regions)
+        if nodes is None:
+            if self.access_mode == "flood":
+                nodes = len(planner.flood_sensors(regions))
+            else:
+                nodes = len(planner.chain_sensors(chain))
+            sensors_cache[regions] = nodes
+        return chain.size, nodes
