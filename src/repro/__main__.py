@@ -6,8 +6,17 @@ Commands
     Run the quickstart pipeline end to end on a small synthetic city
     and print the results (deploy -> ingest -> query vs exact).
     ``--trace out.json`` exports the run's span tree as Chrome
-    trace-viewer JSON; ``--metrics out.prom`` dumps the metrics
-    registry in Prometheus text format.
+    trace-viewer JSON (with ``--shards N`` the trace carries one
+    swimlane per shard-worker pid, grafted from the workers);
+    ``--metrics out.prom`` dumps the metrics registry in Prometheus
+    text format; ``--flight out.json`` dumps the always-on query
+    flight recorder.
+``monitor``
+    Run a query workload while sampling fleet telemetry (time series,
+    SLO burn, sensor health, EXPLAIN).  ``--shards N`` monitors the
+    scatter-gather engine with per-stage latency breakdown;
+    ``--flight out.json`` dumps the flight recorder's recent and
+    slow-query records (promotion threshold ``--slow-ms``).
 ``info``
     Print the library version and the available selectors, stores and
     city generators.
@@ -72,7 +81,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     network = framework.deploy(
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, planner=args.planner,
-                        shards=args.shards, seed=args.seed)
+                        shards=args.shards, seed=args.seed,
+                        slow_query_s=args.slow_ms / 1e3)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -146,6 +156,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
             with open(args.metrics, "w") as handle:
                 handle.write(obs.metrics.to_prometheus())
             log.info(f"metrics: wrote {args.metrics}")
+    if args.flight:
+        flight = framework.flight_log()
+        flight.dump(args.flight)
+        log.info(f"flight: wrote {args.flight} ({flight.total} records, "
+                 f"{flight.slow_total} slow)")
     framework.close()
     return 0
 
@@ -190,7 +205,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     network = framework.deploy(
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, planner=args.planner,
-                        seed=args.seed)
+                        shards=args.shards, seed=args.seed,
+                        slow_query_s=args.slow_ms / 1e3)
     )
     workload = generate_workload(
         domain,
@@ -202,7 +218,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
              f"({network.size_fraction:.1%}), {n_events} events ingested")
 
     injector = None
-    if args.faults > 0:
+    if args.faults > 0 and args.shards == 1:
         from repro.network import FaultConfig
 
         injector = framework.fault_injector(
@@ -213,6 +229,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         log.info(f"faults: {args.faults:.0%} sensor crash, "
                  f"{args.faults / 2:.0%} message drop "
                  f"({len(injector.crashed)} sensors down)")
+    elif args.shards > 1:
+        log.info(f"sharded: monitoring the {args.shards}-district "
+                 "scatter-gather engine (fault injection disabled)")
     engine = framework.engine(
         faults=injector, dispatch_strategy=args.strategy
     )
@@ -267,6 +286,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     statuses = evaluate_slos(slos, recorder)
     health = fleet_health(registry, known_sensors=network.sensors)
     explain = engine.explain(queries[0])
+    flight = framework.flight_log()
 
     log.info(health.format_report())
     for status in statuses:
@@ -276,6 +296,10 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                  f"{status.burn_rate:.1f}x)")
     log.info(alert_log.format())
     log.info(f"sample plan:\n{explain.format()}")
+    if flight.slow_total:
+        slow_lines = "\n".join(f"  {line}" for line in flight.format_slow())
+        log.info(f"slow queries (> {flight.slow_threshold_s * 1e3:g}ms):\n"
+                 f"{slow_lines}")
 
     if args.html:
         meta = {
@@ -296,6 +320,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             alerts=alert_log.alerts,
             health=health,
             explain_text=explain.format(),
+            flight=flight,
         )
         with open(args.html, "w") as handle:
             handle.write(page)
@@ -307,10 +332,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             "alerts": [alert.__dict__ for alert in alert_log.alerts],
             "health": health.as_dict(),
             "explain": explain.as_dict(),
+            "flight": flight.as_dict(),
         }
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=1)
         log.info(f"telemetry: wrote {args.json}")
+    if args.flight:
+        flight.dump(args.flight)
+        log.info(f"flight: wrote {args.flight} ({flight.total} records, "
+                 f"{flight.slow_total} slow)")
 
     if not args.smoke:
         return 0
@@ -329,7 +359,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             failures.append(
                 "availability SLO burned no budget under faults"
             )
-    reference_engine = framework.engine()
+    if flight.total == 0:
+        failures.append("flight recorder saw no queries")
+    if len(flight) > flight.capacity:
+        failures.append(
+            f"flight ring overflowed: {len(flight)} > {flight.capacity}"
+        )
+    reference_engine = framework.engine(sharded=False)
     reference = reference_engine.execute(queries[0])
     plan = reference_engine.explain(queries[0])
     mismatches = [
@@ -431,6 +467,12 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--metrics", metavar="PATH", default=None,
                       help="write the metrics registry in Prometheus "
                            "text format")
+    demo.add_argument("--flight", metavar="PATH", default=None,
+                      help="dump the always-on query flight recorder "
+                           "as JSON")
+    demo.add_argument("--slow-ms", type=float, default=100.0,
+                      help="flight-recorder slow-query promotion "
+                           "threshold in milliseconds")
     demo.set_defaults(handler=_cmd_demo)
 
     monitor = commands.add_parser(
@@ -450,6 +492,10 @@ def build_parser() -> argparse.ArgumentParser:
                                   "piecewise", "histogram"])
     monitor.add_argument("--planner", default="auto",
                          choices=["auto", "compiled", "python"])
+    monitor.add_argument("--shards", type=int, default=1,
+                         help="district shards for scatter-gather "
+                              "querying (>1 enables the sharded engine; "
+                              "implies --faults 0)")
     monitor.add_argument("--seed", type=int, default=7)
     monitor.add_argument("--faults", type=float, default=0.1, metavar="P",
                          help="sensor crash rate (P/2 becomes the "
@@ -469,7 +515,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the self-contained HTML dashboard")
     monitor.add_argument("--json", metavar="PATH", default=None,
                          help="write the telemetry (series, SLOs, "
-                              "health, EXPLAIN) as JSON")
+                              "health, EXPLAIN, flight log) as JSON")
+    monitor.add_argument("--flight", metavar="PATH", default=None,
+                         help="dump the query flight recorder as JSON")
+    monitor.add_argument("--slow-ms", type=float, default=100.0,
+                         help="flight-recorder slow-query promotion "
+                              "threshold in milliseconds")
     monitor.add_argument("--smoke", action="store_true",
                          help="assert the telemetry invariants (crashed "
                               "sensors identified, SLO burn under "

@@ -31,6 +31,12 @@ class FrameworkConfig:
     with the default ``shards`` uses :data:`DEFAULT_SHARDS`
     districts).  Sharding requires the exact store — learned models
     are not sharded.
+
+    ``flight_capacity`` sizes the framework's always-on query flight
+    recorder (:class:`~repro.obs.FlightRecorder` ring buffer) and
+    ``slow_query_s`` is its slow-query promotion threshold: queries
+    slower than this carry full detail (provenance, grafted worker
+    spans) in the flight log.
     """
 
     selector: str = "quadtree"
@@ -41,6 +47,8 @@ class FrameworkConfig:
     planner: str = "auto"
     shards: int = 1
     seed: int = 0
+    flight_capacity: int = 256
+    slow_query_s: float = 0.1
 
     _SELECTORS = (
         "uniform",
@@ -84,6 +92,10 @@ class FrameworkConfig:
             raise ConfigurationError("knn_k must be >= 1")
         if self.shards < 1:
             raise ConfigurationError("shards must be >= 1")
+        if self.flight_capacity < 1:
+            raise ConfigurationError("flight_capacity must be >= 1")
+        if self.slow_query_s <= 0:
+            raise ConfigurationError("slow_query_s must be > 0")
         if self.sharded and self.store != "exact":
             raise ConfigurationError(
                 "sharded querying requires store='exact' (learned "

@@ -33,7 +33,12 @@ from ..models import (
     PolynomialModel,
     StepHistogramModel,
 )
-from ..obs import Instrumentation, NULL_INSTRUMENTATION, get_registry
+from ..obs import (
+    FlightRecorder,
+    Instrumentation,
+    NULL_INSTRUMENTATION,
+    get_registry,
+)
 from ..planar import NodeId, PlanarGraph
 from ..query import (
     LOWER,
@@ -72,11 +77,20 @@ class InNetworkFramework:
         self,
         domain: MobilityDomain,
         instrumentation: Optional[Instrumentation] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         self.obs = (
             instrumentation
             if instrumentation is not None
             else NULL_INSTRUMENTATION
+        )
+        #: Always-on query flight recorder, shared by every engine the
+        #: framework hands out.  A caller-provided recorder is kept
+        #: verbatim; the default one is re-sized from the deployed
+        #: config's ``flight_capacity``/``slow_query_s``.
+        self._flight_injected = flight is not None
+        self.flight: FlightRecorder = (
+            flight if flight is not None else FlightRecorder()
         )
         self.domain = domain
         self.config: Optional[FrameworkConfig] = None
@@ -96,6 +110,7 @@ class InNetworkFramework:
         cls,
         road_graph: PlanarGraph,
         instrumentation: Optional[Instrumentation] = None,
+        flight: Optional[FlightRecorder] = None,
     ) -> "InNetworkFramework":
         """Build the framework from a planar road network."""
         obs = (
@@ -109,7 +124,7 @@ class InNetworkFramework:
             edges=road_graph.edge_count,
         ):
             domain = MobilityDomain(road_graph)
-        return cls(domain, instrumentation=instrumentation)
+        return cls(domain, instrumentation=instrumentation, flight=flight)
 
     # ------------------------------------------------------------------
     # Deployment
@@ -202,6 +217,14 @@ class InNetworkFramework:
                 )
 
             self.config = config
+            if not self._flight_injected and (
+                self.flight.capacity != config.flight_capacity
+                or self.flight.slow_threshold_s != config.slow_query_s
+            ):
+                self.flight = FlightRecorder(
+                    capacity=config.flight_capacity,
+                    slow_threshold_s=config.slow_query_s,
+                )
             self.network = network
             self._form = None
             self._store = None
@@ -289,7 +312,7 @@ class InNetworkFramework:
         runs the single-process engine: degraded dispatch consumes the
         injector's per-query attempt stream, which does not decompose
         over shards.  Pass ``sharded=False`` to force the
-        single-process engine (EXPLAIN does).
+        single-process engine.
         """
         if self.network is None or self._store is None:
             raise QueryError("deploy() and ingest first")
@@ -305,6 +328,7 @@ class InNetworkFramework:
                     instrumentation=self.obs,
                     store=self._store,
                     seed=config.seed,
+                    flight=self.flight,
                 )
             return self._sharded
         planner = config.planner if config is not None else "auto"
@@ -316,6 +340,7 @@ class InNetworkFramework:
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
+            flight=self.flight,
         )
 
     def close(self) -> None:
@@ -323,6 +348,13 @@ class InNetworkFramework:
         worker processes and shared-memory segments).  The framework
         stays usable; the next sharded query rebuilds the engine."""
         self._drop_sharded()
+
+    def flight_log(self) -> FlightRecorder:
+        """The always-on query flight recorder shared by every engine
+        this framework hands out: recent per-query records (digest,
+        planner, fan-out, stage timings) plus the promoted slow-query
+        ring.  Dump it with ``flight_log().dump(path)``."""
+        return self.flight
 
     def query(
         self,
@@ -360,17 +392,18 @@ class InNetworkFramework:
         dispatch_strategy: str = "perimeter_walk",
         retry_policy: Optional[RetryPolicy] = None,
     ):
-        """EXPLAIN one query: execute it with provenance forced on and
-        return the measured :class:`~repro.obs.QueryExplain` plan.
+        """EXPLAIN one query: execute it and return the measured
+        :class:`~repro.obs.QueryExplain` plan.
 
-        Always measured on the single-process engine — a scatter to
-        worker processes has no single measured phase breakdown.
+        Runs on whichever engine the deployed config selects: the
+        single-process engine reports per-phase provenance; the sharded
+        engine reports the scatter-gather plan (shard fan-out and
+        route/scatter/worker_wait/merge stage times).
         """
         engine = self.engine(
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
-            sharded=False,
         )
         return engine.explain(
             RangeQuery(box, t1, t2, kind=kind, bound=bound)

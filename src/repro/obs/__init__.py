@@ -21,12 +21,15 @@ query pipeline:
   error-budget/burn-rate evaluation and the :class:`AlertLog`;
 - :mod:`repro.obs.health` — per-sensor health scoring and fleet
   rollups over the simulator's per-sensor telemetry;
+- :mod:`repro.obs.flight` — the always-on bounded query flight
+  recorder with slow-query promotion to full detail;
 - :mod:`repro.obs.explain` — the measured query EXPLAIN plan;
 - :mod:`repro.obs.dashboard` — the self-contained HTML dashboard the
   ``repro monitor`` CLI exports.
 """
 
-from .explain import QueryExplain, build_explain
+from .explain import QueryExplain, build_explain, build_sharded_explain
+from .flight import FlightRecord, FlightRecorder, query_digest
 from .health import FleetHealth, SensorHealth, fleet_health
 from .instrument import Instrumentation, NULL_INSTRUMENTATION
 from .logging import configure as configure_logging
@@ -68,6 +71,8 @@ __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
     "FleetHealth",
+    "FlightRecord",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "Instrumentation",
@@ -90,6 +95,7 @@ __all__ = [
     "TimeSeriesRecorder",
     "Tracer",
     "build_explain",
+    "build_sharded_explain",
     "configure_logging",
     "default_slos",
     "evaluate_slos",
@@ -97,6 +103,7 @@ __all__ = [
     "get_logger",
     "get_registry",
     "kv",
+    "query_digest",
     "set_registry",
     "use_registry",
 ]

@@ -5,15 +5,18 @@ fonts, so the file works as a CI build artifact opened from disk:
 
 - a metadata header (workload configuration, fleet size, totals);
 - a sparkline grid of the recorder's key series (inline SVG);
+- the sharded stage-breakdown panel (route/scatter/worker_wait/merge
+  p95 wall times, rendered only when the sharded engine ran);
 - the SLO panel (compliance, error-budget burn bars, status);
 - the per-sensor health heatmap table (cell color = health score);
 - the alert timeline (SLO threshold crossings);
+- the recent slow queries of the flight recorder (when given one);
 - the query EXPLAIN plan of a sample query.
 
 Everything it shows comes from the telemetry layers
 (:mod:`~repro.obs.timeseries`, :mod:`~repro.obs.slo`,
-:mod:`~repro.obs.health`, :mod:`~repro.obs.explain`); this module only
-formats.
+:mod:`~repro.obs.health`, :mod:`~repro.obs.flight`,
+:mod:`~repro.obs.explain`); this module only formats.
 """
 
 from __future__ import annotations
@@ -21,9 +24,23 @@ from __future__ import annotations
 import html
 from typing import Mapping, Optional, Sequence
 
+from .flight import FlightRecorder
 from .health import FleetHealth
 from .slo import Alert, SLOStatus
 from .timeseries import SeriesWindow, TimeSeriesRecorder
+
+#: Scatter-gather stage-breakdown sparklines (flat histogram names as
+#: the recorder samples them); silently skipped when the sharded
+#: engine never ran.
+STAGE_PANELS = tuple(
+    (
+        f"{stage} p95 (s)",
+        f'repro_sharded_stage_seconds{{stage="{stage}"}}',
+        "quantile",
+        0.95,
+    )
+    for stage in ("route", "scatter", "worker_wait", "merge")
+)
 
 #: Sparklines rendered when their metric exists, in display order:
 #: (title, metric, kind, quantile-or-None).
@@ -38,7 +55,7 @@ DEFAULT_PANELS = (
     ("p95 latency (s)", "repro_query_latency_seconds", "quantile", 0.95),
     ("p99 latency (s)", "repro_query_latency_seconds", "quantile", 0.99),
     ("p95 degradation", "repro_sim_degradation", "quantile", 0.95),
-)
+) + STAGE_PANELS
 
 _CSS = """
 body { font: 13px/1.45 system-ui, sans-serif; margin: 24px;
@@ -166,6 +183,27 @@ def _heatmap(health: FleetHealth, columns: int = 20) -> str:
     return f"<table class='heat'><tr>{''.join(cells)}</tr></table>"
 
 
+def _slow_query_rows(flight: FlightRecorder, limit: int = 10) -> str:
+    rows = []
+    for entry in list(flight.slow_records)[-limit:][::-1]:
+        stages = " ".join(
+            f"{name}={seconds * 1e3:.2f}ms"
+            for name, seconds in (entry.stage_s or {}).items()
+        )
+        rows.append(
+            "<tr>"
+            f"<td>{entry.seq}</td>"
+            f"<td>{html.escape(entry.digest)}</td>"
+            f"<td>{html.escape(entry.planner)}</td>"
+            f"<td>{entry.elapsed_s * 1e3:.3f}</td>"
+            f"<td>{entry.fanout}</td>"
+            f"<td>{html.escape(stages or '-')}</td>"
+            f"<td>{html.escape(entry.degraded or '-')}</td>"
+            "</tr>"
+        )
+    return "".join(rows)
+
+
 def render_dashboard(
     *,
     title: str,
@@ -175,6 +213,7 @@ def render_dashboard(
     alerts: Sequence[Alert],
     health: FleetHealth,
     explain_text: Optional[str] = None,
+    flight: Optional[FlightRecorder] = None,
     panels: Sequence[tuple] = DEFAULT_PANELS,
 ) -> str:
     """The full dashboard page as one HTML string."""
@@ -228,6 +267,19 @@ def render_dashboard(
         else ""
     )
 
+    flight_html = ""
+    if flight is not None and flight.slow_records:
+        flight_html = (
+            "<h2>Recent slow queries</h2>"
+            f"<p>{flight.slow_total} promoted of {flight.total} recorded "
+            f"(threshold {flight.slow_threshold_s * 1e3:g}ms)</p>"
+            '<table class="slo">'
+            "<tr><th>#</th><th>digest</th><th>planner</th>"
+            "<th>elapsed (ms)</th><th>fan-out</th><th>stages</th>"
+            "<th>degraded</th></tr>"
+            f"{_slow_query_rows(flight)}</table>"
+        )
+
     offenders = health.worst_offenders(10)
     offender_rows = "".join(
         "<tr>"
@@ -270,6 +322,7 @@ def render_dashboard(
 
 <h2>Alerts</h2>
 {alerts_html}
+{flight_html}
 {explain_html}
 </body></html>
 """

@@ -27,6 +27,7 @@ from typing import Any, Dict, Mapping, Optional, Tuple, TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a cycle
     from ..query.engine import QueryEngine
     from ..query.result import QueryResult
+    from ..query.sharded import ShardedQueryEngine
 
 #: Phase order of the execution pipeline (engine span names).
 PHASES = (
@@ -72,6 +73,10 @@ class QueryExplain:
     skipped_sensors: Tuple[int, ...] = ()
     lost_walls: int = 0
     error_bound: Optional[float] = None
+    # Scatter-gather execution (sharded engine only; 0/empty otherwise).
+    shards: int = 0
+    fanout: int = 0
+    stage_s: Mapping[str, float] = field(default_factory=dict)
 
     def format(self) -> str:
         """The compact text plan."""
@@ -123,6 +128,16 @@ class QueryExplain:
                 cache for cache, hit in sorted(self.cache_hits.items()) if hit
             )
             lines.append(f"  batch caches: hit[{served or '-'}]")
+        if self.shards:
+            stages = " ".join(
+                f"{stage}={self.stage_s[stage] * 1e3:.3f}ms"
+                for stage in ("route", "scatter", "worker_wait", "merge")
+                if stage in self.stage_s
+            )
+            lines.append(
+                f"  scatter_gather      shards={self.shards} "
+                f"fanout={self.fanout}" + (f"  [{stages}]" if stages else "")
+            )
         if self.dispatch_strategy is not None:
             bound_txt = (
                 "inf"
@@ -173,6 +188,9 @@ class QueryExplain:
             "skipped_sensors": list(self.skipped_sensors),
             "lost_walls": self.lost_walls,
             "error_bound": self.error_bound,
+            "shards": self.shards,
+            "fanout": self.fanout,
+            "stage_s": dict(self.stage_s),
         }
 
 
@@ -230,4 +248,52 @@ def build_explain(
         error_bound=(
             degradation.error_bound if degradation is not None else None
         ),
+    )
+
+
+def build_sharded_explain(
+    engine: "ShardedQueryEngine",
+    result: "QueryResult",
+    *,
+    junction_count: int,
+    fanout: int,
+    stage_s: Mapping[str, float],
+) -> QueryExplain:
+    """Fold a scatter-gather execution into a plan.
+
+    The sharded path has no single-process provenance: the plan is
+    assembled from the parent's measured routing (junctions resolved,
+    shards reached, per-stage wall times) and the merged shard
+    accounting already on the result.  Field parity with
+    :func:`build_explain` holds for everything region-determined —
+    regions, boundary length, sensors, edges, value — because the
+    gather re-emits results field-identical to the single-process
+    compiled planner.
+    """
+    query = result.query
+    box = query.box
+    planner = engine._planner
+    return QueryExplain(
+        kind=query.kind,
+        bound=query.bound,
+        box=(box.min_x, box.min_y, box.max_x, box.max_y),
+        t1=query.t1,
+        t2=query.t2,
+        planner="sharded",
+        access_mode=engine.access_mode,
+        static_eval=engine.static_eval,
+        store=f"{engine.shards}xCompiledTrackingForm(shm)",
+        network=engine.network.name,
+        planner_stats=planner.describe() if planner is not None else {},
+        missed=result.missed,
+        junction_count=junction_count,
+        region_ids=tuple(result.regions),
+        boundary_length=result.edges_accessed,
+        sensors_accessed=result.nodes_accessed,
+        edges_accessed=result.edges_accessed,
+        value=result.value,
+        elapsed_s=result.elapsed,
+        shards=engine.shards,
+        fanout=fanout,
+        stage_s=dict(stage_s),
     )

@@ -1,0 +1,263 @@
+"""Always-on query flight recorder: a bounded ring of cheap per-query
+records, with slow-query promotion to full detail.
+
+Every query execution appends one :class:`FlightRecord` to a
+:class:`FlightRecorder` — a ``deque(maxlen=capacity)`` ring buffer, so
+memory is bounded no matter how long the process runs and the oldest
+record is evicted first.  The hot-path cost is one ``__slots__`` object
+and two deque operations (well under a microsecond); anything expensive
+— the query digest, JSON shaping — is deferred to dump time.
+
+Records whose latency exceeds ``slow_threshold_s`` (strictly greater)
+are *promoted*: flagged ``slow``, copied into a second ring that slow
+traffic cannot be flushed out of by fast traffic, and offered back to
+the caller so it can attach a ``detail`` payload (measured provenance,
+grafted worker spans) while the evidence is still at hand.
+
+The recorder is deliberately engine-agnostic: :class:`~repro.query.QueryEngine`
+records ``stage_s`` phase timings, :class:`~repro.query.ShardedQueryEngine`
+records scatter-gather stage timings plus the shard fan-out, and the
+framework exposes the shared ring via ``flight_log()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import time
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+#: Default ring capacity: enough recent traffic for post-hoc debugging,
+#: small enough that an always-on recorder is memory-trivial.
+DEFAULT_CAPACITY = 256
+
+#: Slow records kept even after the main ring has cycled past them.
+DEFAULT_SLOW_CAPACITY = 32
+
+#: Default promotion threshold in seconds.
+DEFAULT_SLOW_THRESHOLD_S = 0.1
+
+
+class FlightRecord:
+    """One query's flight-recorder entry.
+
+    Holds a *reference* to the query (digesting it is deferred to
+    :meth:`as_dict`) plus the scalars the recording engine already had
+    in hand — nothing here is computed for the recorder's sake.
+    """
+
+    __slots__ = (
+        "seq",
+        "wall_time",
+        "query",
+        "planner",
+        "elapsed_s",
+        "value",
+        "missed",
+        "fanout",
+        "stage_s",
+        "degraded",
+        "slow",
+        "detail",
+    )
+
+    def __init__(
+        self,
+        seq: int,
+        wall_time: float,
+        query: Any,
+        planner: str,
+        elapsed_s: float,
+        value: Optional[float],
+        missed: bool,
+        fanout: int,
+        stage_s: Optional[Dict[str, float]],
+        degraded: Optional[str],
+    ) -> None:
+        self.seq = seq
+        self.wall_time = wall_time
+        self.query = query
+        self.planner = planner
+        self.elapsed_s = elapsed_s
+        self.value = value
+        self.missed = missed
+        self.fanout = fanout
+        self.stage_s = stage_s
+        self.degraded = degraded
+        self.slow = False
+        #: Promotion payload (provenance dict, serialized spans, …);
+        #: attached by the caller when ``slow`` is True.
+        self.detail: Optional[Dict[str, Any]] = None
+
+    @property
+    def digest(self) -> str:
+        """Short stable digest of the query parameters (lazy)."""
+        return query_digest(self.query)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation; this is where lazy work happens."""
+        query = self.query
+        out: Dict[str, Any] = {
+            "seq": self.seq,
+            "wall_time": self.wall_time,
+            "digest": self.digest,
+            "kind": getattr(query, "kind", None),
+            "bound": getattr(query, "bound", None),
+            "planner": self.planner,
+            "elapsed_s": self.elapsed_s,
+            "value": self.value,
+            "missed": self.missed,
+            "fanout": self.fanout,
+            "stage_s": dict(self.stage_s) if self.stage_s else {},
+            "degraded": self.degraded,
+            "slow": self.slow,
+        }
+        if self.detail is not None:
+            out["detail"] = self.detail
+        return out
+
+    def __repr__(self) -> str:
+        flag = " SLOW" if self.slow else ""
+        return (
+            f"FlightRecord(#{self.seq} {self.planner} "
+            f"{self.elapsed_s * 1e3:.3f}ms fanout={self.fanout}{flag})"
+        )
+
+
+def query_digest(query: Any) -> str:
+    """Deterministic 12-hex-char digest of a query's parameters.
+
+    Same rectangle/interval/kind/bound → same digest, so repeated slow
+    queries group in the flight log.  Computed only at dump time.
+    """
+    box = getattr(query, "box", None)
+    key = (
+        repr(tuple(box) if box is not None else None),
+        getattr(query, "t1", None),
+        getattr(query, "t2", None),
+        getattr(query, "kind", None),
+        getattr(query, "bound", None),
+    )
+    return hashlib.sha1(repr(key).encode()).hexdigest()[:12]
+
+
+class FlightRecorder:
+    """Bounded always-on ring of per-query :class:`FlightRecord` entries."""
+
+    __slots__ = (
+        "capacity",
+        "slow_threshold_s",
+        "_ring",
+        "_slow",
+        "_seq",
+        "slow_total",
+    )
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        slow_capacity: int = DEFAULT_SLOW_CAPACITY,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"flight-recorder capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.slow_threshold_s = slow_threshold_s
+        self._ring: Deque[FlightRecord] = deque(maxlen=capacity)
+        self._slow: Deque[FlightRecord] = deque(maxlen=slow_capacity)
+        self._seq = 0
+        #: Slow queries ever promoted (survives ring eviction).
+        self.slow_total = 0
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        query: Any,
+        *,
+        planner: str,
+        elapsed_s: float,
+        value: Optional[float] = None,
+        missed: bool = False,
+        fanout: int = 0,
+        stage_s: Optional[Dict[str, float]] = None,
+        degraded: Optional[str] = None,
+    ) -> FlightRecord:
+        """Append one record; returns it so a slow caller can attach
+        ``detail``.  Promotion fires iff ``elapsed_s`` strictly exceeds
+        the threshold."""
+        self._seq += 1
+        entry = FlightRecord(
+            self._seq,
+            time.time(),
+            query,
+            planner,
+            elapsed_s,
+            value,
+            missed,
+            fanout,
+            stage_s,
+            degraded,
+        )
+        self._ring.append(entry)
+        if elapsed_s > self.slow_threshold_s:
+            entry.slow = True
+            self._slow.append(entry)
+            self.slow_total += 1
+        return entry
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def total(self) -> int:
+        """Queries ever recorded (monotonic; ring holds the newest)."""
+        return self._seq
+
+    @property
+    def records(self) -> Tuple[FlightRecord, ...]:
+        """Current ring contents, oldest first."""
+        return tuple(self._ring)
+
+    @property
+    def slow_records(self) -> Tuple[FlightRecord, ...]:
+        """Promoted slow-query records, oldest first."""
+        return tuple(self._slow)
+
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-safe dump of both rings plus recorder configuration."""
+        return {
+            "capacity": self.capacity,
+            "slow_threshold_s": self.slow_threshold_s,
+            "total": self.total,
+            "slow_total": self.slow_total,
+            "records": [entry.as_dict() for entry in self._ring],
+            "slow": [entry.as_dict() for entry in self._slow],
+        }
+
+    def to_json(self, indent: Optional[int] = 1) -> str:
+        return json.dumps(self.as_dict(), indent=indent)
+
+    def dump(self, path: Any) -> None:
+        """Write the JSON dump to ``path``."""
+        with open(path, "w") as handle:
+            handle.write(self.to_json())
+
+    def format_slow(self, limit: int = 10) -> List[str]:
+        """Human-readable lines for the newest slow queries (dashboard
+        table, CLI summaries)."""
+        lines: List[str] = []
+        for entry in list(self._slow)[-limit:][::-1]:
+            stages = " ".join(
+                f"{name}={seconds * 1e3:.2f}ms"
+                for name, seconds in (entry.stage_s or {}).items()
+            )
+            lines.append(
+                f"#{entry.seq} {entry.digest} {entry.planner} "
+                f"{entry.elapsed_s * 1e3:.3f}ms fanout={entry.fanout}"
+                + (f" [{stages}]" if stages else "")
+                + (f" degraded={entry.degraded}" if entry.degraded else "")
+            )
+        return lines

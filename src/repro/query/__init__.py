@@ -8,7 +8,7 @@ from .engine import (
     QueryEngine,
 )
 from .planner import BoundaryChain, CompiledQueryPlanner
-from .sharded import ShardedQueryEngine, shard_of_edges
+from .sharded import SHARDED_STAGES, ShardedQueryEngine, shard_of_edges
 from .result import (
     LOWER,
     STATIC,
@@ -31,6 +31,7 @@ __all__ = [
     "QueryResult",
     "RangeQuery",
     "RegionState",
+    "SHARDED_STAGES",
     "STATIC",
     "ShardedQueryEngine",
     "shard_of_edges",

@@ -53,6 +53,7 @@ from ..network.simulator import (
     NetworkSimulator,
 )
 from ..obs import (
+    FlightRecorder,
     Instrumentation,
     NULL_INSTRUMENTATION,
     QueryProvenance,
@@ -117,6 +118,9 @@ class QueryEngine:
     #: Retry/timeout/backoff of the fault-aware dispatch; ``None``
     #: means the :class:`~repro.network.RetryPolicy` defaults.
     retry_policy: Optional[RetryPolicy] = None
+    #: Always-on flight recorder: one cheap ring-buffer record per
+    #: query, slow queries promoted to full detail.  ``None`` disables.
+    flight: Optional[FlightRecorder] = None
 
     def __post_init__(self) -> None:
         if self.access_mode not in ("perimeter", "flood"):
@@ -353,6 +357,22 @@ class QueryEngine:
                     "account_sensors": end - t_integrate,
                 },
             )
+        if self.flight is not None:
+            self._record_flight(
+                query,
+                elapsed,
+                value=value,
+                missed=False,
+                stage_s={
+                    "resolve_junctions": t_junctions - start,
+                    "approximate_region": t_regions - t_junctions,
+                    "build_boundary": t_boundary - t_regions,
+                    "integrate": t_integrate - t_boundary,
+                    "account_sensors": end - t_integrate,
+                },
+                degradation=degradation,
+                provenance=provenance,
+            )
         return QueryResult(
             query=query,
             value=value,
@@ -586,6 +606,15 @@ class QueryEngine:
                         shared_fill_s=shared,
                         phase_s={"integrate": t_integrate},
                     )
+                if self.flight is not None:
+                    self._record_flight(
+                        query,
+                        elapsed,
+                        value=value,
+                        missed=False,
+                        stage_s={**phase_s, "integrate": t_integrate},
+                        provenance=provenance,
+                    )
                 results.append(
                     QueryResult(
                         query=query,
@@ -809,6 +838,15 @@ class QueryEngine:
                 shared_fill_s=shared,
                 phase_s=phase_s or {},
             )
+        if self.flight is not None:
+            self._record_flight(
+                query,
+                elapsed,
+                value=0.0,
+                missed=True,
+                stage_s=phase_s,
+                provenance=provenance,
+            )
         return QueryResult(
             query=query,
             value=0.0,
@@ -817,3 +855,37 @@ class QueryEngine:
             cache_served=bool(cache_hits) and all(cache_hits.values()),
             provenance=provenance,
         )
+
+    def _record_flight(
+        self,
+        query: RangeQuery,
+        elapsed: float,
+        *,
+        value: float,
+        missed: bool,
+        stage_s: Optional[Dict[str, float]] = None,
+        degradation: Optional[QueryDegradation] = None,
+        provenance: Optional[QueryProvenance] = None,
+    ) -> None:
+        """Append one flight record; promote slow queries with the
+        detail already in hand (never recomputed)."""
+        degraded = None
+        if degradation is not None and degradation.lost_walls:
+            degraded = (
+                f"lost_walls={degradation.lost_walls}"
+                f" bound={degradation.error_bound:g}"
+            )
+        record = self.flight.record(
+            query,
+            planner=self.planner_in_use,
+            elapsed_s=elapsed,
+            value=value,
+            missed=missed,
+            stage_s=stage_s,
+            degraded=degraded,
+        )
+        if record.slow:
+            detail: Dict[str, object] = {"stage_s": dict(stage_s or {})}
+            if provenance is not None:
+                detail["provenance"] = provenance.as_dict()
+            record.detail = detail

@@ -41,7 +41,22 @@ per query; worker registries ship per-call deltas
 (:func:`repro.obs.metrics.diff_dumps`) that the parent absorbs with
 those canonical names skipped, so internal counters (searchsorted
 calls, boundary-cache outcomes, batch-cache hits) stay visible without
-fan-out double counting.
+fan-out double counting.  Per-batch stage wall times (``route`` /
+``scatter`` / ``worker_wait`` / ``merge``) land in the
+``repro_sharded_stage_seconds`` histogram.
+
+Distributed tracing: when the parent's tracer is live each worker call
+records its own span tree (``worker.run`` → ``worker.attach`` plus the
+inner engine's ``query.execute_batch`` resolve/integrate spans) on a
+worker-local :class:`~repro.obs.Tracer`, ships it back as plain dicts
+next to the metric deltas, and the parent grafts it under its
+``sharded.scatter`` span.  Worker spans keep their recording pid (and
+use the shard id as tid), so the Chrome-trace export draws one
+swimlane per worker process; timestamps are directly comparable
+because ``perf_counter`` reads the shared ``CLOCK_MONOTONIC`` under
+fork.  A :class:`~repro.obs.FlightRecorder` (``flight=``) additionally
+captures one cheap record per query — digest, fan-out, stage timings —
+with slow queries promoted to carry the batch's grafted worker spans.
 
 Delegation: ``shards=1``, ``workers=0`` and fault-injecting engines
 run the single-process :class:`~repro.query.QueryEngine` directly —
@@ -62,6 +77,7 @@ import os
 import time
 import weakref
 from concurrent.futures import as_completed, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -71,13 +87,19 @@ from ..forms import CompiledTrackingForm
 from ..mobility import EXT, Strata, voronoi_strata
 from ..network.faults import FaultInjector, RetryPolicy
 from ..obs import (
+    FlightRecorder,
     Instrumentation,
     MetricsRegistry,
     NULL_INSTRUMENTATION,
+    NULL_TRACER,
     SECONDS_BUCKETS,
+    Tracer,
+    get_logger,
     get_registry,
+    kv,
     set_registry,
 )
+from ..obs.explain import QueryExplain, build_sharded_explain
 from ..obs.metrics import diff_dumps
 from ..sampling import SensorNetwork
 from ..shm import destroy_segment
@@ -98,6 +120,12 @@ PARENT_ACCOUNTED_METRICS = (
     "repro_query_edges_accessed_total",
     "repro_query_batch_fill_seconds_total",
 )
+
+#: Scatter-gather pipeline stages, in execution order, as labelled in
+#: the ``repro_sharded_stage_seconds`` histogram.
+SHARDED_STAGES = ("route", "scatter", "worker_wait", "merge")
+
+log = get_logger("query.sharded")
 
 
 def shard_of_edges(domain, strata: Strata) -> np.ndarray:
@@ -138,12 +166,15 @@ def _worker_init(
     static_eval: str,
     access_mode: str,
     collect_metrics: bool,
+    collect_spans: bool = False,
 ) -> None:
     """Pool initializer: fresh registry + lazy per-shard engine slots.
 
     A forked worker inherits the parent's process-global registry
     *values*; swapping in a fresh registry before any engine is built
     makes the per-call dumps pure deltas of this worker's own work.
+    With ``collect_spans`` the worker also keeps a local tracer whose
+    per-call span trees ship back for grafting into the parent's trace.
     """
     set_registry(MetricsRegistry())
     _WORKER.clear()
@@ -153,6 +184,7 @@ def _worker_init(
         static_eval=static_eval,
         access_mode=access_mode,
         collect_metrics=collect_metrics,
+        tracer=Tracer() if collect_spans else NULL_TRACER,
         forms={},
         engines={},
         last_dump=None,
@@ -179,59 +211,92 @@ def _worker_engine(shard: int, static_eval: str) -> QueryEngine:
             access_mode=str(_WORKER["access_mode"]),
             static_eval=static_eval,
             planner="compiled",
+            instrumentation=Instrumentation(
+                tracer=_WORKER["tracer"],
+                metrics=get_registry(),
+                provenance=False,
+            ),
         )
         engines[key] = engine
     return engine
 
 
 def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
-    """Execute a sub-batch on one shard; return (shard, payload, dump).
+    """Execute a sub-batch on one shard; return
+    ``(shard, payload, dump, spans)``.
 
     Payload rows are ``(index, partial_values, edges, nodes)`` where
     ``partial_values`` has two entries — the start/end snapshot sums —
     for static queries under ``static_eval="min"`` (min does not
     distribute over the shard sum; the parent folds it over the summed
     endpoint totals) and one entry otherwise.
+
+    With tracing on, the call records ``worker.run`` → ``worker.attach``
+    plus the inner engine's batch spans (resolve fills and per-query
+    ``query.integrate``) on the worker-local tracer, then ships the new
+    roots back as dicts stamped with this pid (tid = shard id + 1) and
+    prunes them — the worker tracer never grows across calls.
     """
     queries = [query for _, query in indexed]
     static_eval = str(_WORKER["static_eval"])
+    tracer = _WORKER["tracer"]
+    roots_before = len(tracer.roots)
     payload: List[Tuple[int, Tuple[float, ...], int, int]] = []
-    if static_eval == "min":
-        starts = _worker_engine(shard, "start").execute_batch(queries)
-        ends = _worker_engine(shard, "end").execute_batch(queries)
-        for (index, query), r_start, r_end in zip(indexed, starts, ends):
-            if r_end.missed:
-                raise QueryError(
-                    f"shard {shard} missed a query the router answered"
+    with tracer.span(
+        "worker.run", shard=shard, queries=len(queries), pid=os.getpid()
+    ):
+        with tracer.span("worker.attach", shard=shard):
+            if static_eval == "min":
+                engines = (
+                    _worker_engine(shard, "start"),
+                    _worker_engine(shard, "end"),
                 )
-            if query.kind == STATIC:
-                values = (r_start.value, r_end.value)
             else:
-                values = (r_end.value,)
-            payload.append(
-                (index, values, r_end.edges_accessed, r_end.nodes_accessed)
-            )
-    else:
-        results = _worker_engine(shard, static_eval).execute_batch(queries)
-        for (index, _), result in zip(indexed, results):
-            if result.missed:
-                raise QueryError(
-                    f"shard {shard} missed a query the router answered"
+                engines = (_worker_engine(shard, static_eval),)
+        if static_eval == "min":
+            starts = engines[0].execute_batch(queries)
+            ends = engines[1].execute_batch(queries)
+            for (index, query), r_start, r_end in zip(indexed, starts, ends):
+                if r_end.missed:
+                    raise QueryError(
+                        f"shard {shard} missed a query the router answered"
+                    )
+                if query.kind == STATIC:
+                    values = (r_start.value, r_end.value)
+                else:
+                    values = (r_end.value,)
+                payload.append(
+                    (index, values, r_end.edges_accessed, r_end.nodes_accessed)
                 )
-            payload.append(
-                (
-                    index,
-                    (result.value,),
-                    result.edges_accessed,
-                    result.nodes_accessed,
+        else:
+            results = engines[0].execute_batch(queries)
+            for (index, _), result in zip(indexed, results):
+                if result.missed:
+                    raise QueryError(
+                        f"shard {shard} missed a query the router answered"
+                    )
+                payload.append(
+                    (
+                        index,
+                        (result.value,),
+                        result.edges_accessed,
+                        result.nodes_accessed,
+                    )
                 )
-            )
     dump = None
     if _WORKER["collect_metrics"]:
         current = get_registry().dump()
         dump = diff_dumps(current, _WORKER["last_dump"])
         _WORKER["last_dump"] = current
-    return shard, payload, dump
+    spans = None
+    if tracer.enabled:
+        pid = os.getpid()
+        spans = [
+            root.to_dict(pid, shard + 1)
+            for root in tracer.roots[roots_before:]
+        ]
+        del tracer.roots[roots_before:]
+    return shard, payload, dump, spans
 
 
 # ----------------------------------------------------------------------
@@ -280,6 +345,7 @@ class ShardedQueryEngine:
         store=None,
         seed: int = 0,
         collect_worker_metrics: bool = True,
+        flight: Optional[FlightRecorder] = None,
     ) -> None:
         if not isinstance(columns, EventColumns):
             raise QueryError(
@@ -300,8 +366,13 @@ class ShardedQueryEngine:
             if instrumentation is not None
             else NULL_INSTRUMENTATION
         )
+        self.flight = flight
         self._registry = get_registry()
         self._bind_metrics()
+        #: Stage wall times and per-query fan-outs of the last batch
+        #: (read by :meth:`explain` and the flight recorder).
+        self._last_stage_s: Dict[str, float] = {}
+        self._last_fanout: List[int] = []
 
         if workers is None:
             workers = min(self.shards, max(_usable_cores(), 1))
@@ -325,6 +396,7 @@ class ShardedQueryEngine:
                 faults=faults,
                 dispatch_strategy=dispatch_strategy,
                 retry_policy=retry_policy,
+                flight=flight,
             )
             self._finalizer = weakref.finalize(
                 self, _release, None, self._segments
@@ -390,6 +462,7 @@ class ShardedQueryEngine:
                 static_eval,
                 access_mode,
                 collect_worker_metrics,
+                self.obs.tracer.enabled,
             ),
         )
         self._finalizer = weakref.finalize(
@@ -426,6 +499,19 @@ class ShardedQueryEngine:
         self._metric_fanout = registry.histogram(
             "repro_sharded_fanout",
             help="Shards touched per answered query",
+        )
+        self._metric_stage = {
+            stage: registry.histogram(
+                "repro_sharded_stage_seconds",
+                buckets=SECONDS_BUCKETS,
+                help="Scatter-gather stage wall seconds per batch",
+                stage=stage,
+            )
+            for stage in SHARDED_STAGES
+        }
+        self._metric_crashes = registry.counter(
+            "repro_shard_worker_crash_total",
+            help="Scatter-gather batches aborted by a dead worker pool",
         )
         self._metric_queries: Dict[Tuple[str, str], object] = {}
         self._metric_misses: Dict[Tuple[str, str], object] = {}
@@ -474,6 +560,14 @@ class ShardedQueryEngine:
             return self._delegate.planner_in_use
         return "sharded"
 
+    @property
+    def simulator(self):
+        """Fault-tolerant dispatcher of the delegate engine (``None``
+        on the scatter path, which never runs fault injection)."""
+        if self._delegate is not None:
+            return self._delegate.simulator
+        return None
+
     def describe(self) -> Dict[str, object]:
         """Shard layout summary (CLI and docs)."""
         if self._delegate is not None:
@@ -493,6 +587,30 @@ class ShardedQueryEngine:
                 int(c) for c in self._region_shards.sum(axis=0)
             ],
         }
+
+    def explain(self, query: RangeQuery) -> QueryExplain:
+        """EXPLAIN one query through the scatter path.
+
+        Parity with :meth:`~repro.query.QueryEngine.explain`: the query
+        *runs*, and the plan reports what that run measured — the
+        parent's routing resolution, the merged shard accounting, the
+        per-stage wall times and the shard fan-out.  Engines that
+        collapsed to a single process delegate to the stock EXPLAIN.
+        """
+        if self._delegate is not None:
+            return self._delegate.explain(query)
+        result = self.execute(query)
+        # The router's own resolution — the same call the route stage
+        # made (the parent planner holds no per-box cache, so this
+        # re-reads what routing read).
+        junctions = self._planner.junction_ids(query.box)
+        return build_sharded_explain(
+            self,
+            result,
+            junction_count=len(junctions),
+            fanout=self._last_fanout[0] if self._last_fanout else 0,
+            stage_s=dict(self._last_stage_s),
+        )
 
     # ------------------------------------------------------------------
     # Execution
@@ -546,6 +664,7 @@ class ShardedQueryEngine:
         plans: List[Tuple] = [()] * n
         merged: Dict[int, Dict[str, object]] = {}
         per_shard: Dict[int, List[int]] = {}
+        fanouts: List[int] = [0] * n
 
         with tracer.span(
             "query.execute_sharded", queries=n, shards=self.shards
@@ -579,6 +698,7 @@ class ShardedQueryEngine:
                         self._region_shards[np.asarray(regions)].any(axis=0)
                     )
                     self._metric_fanout.observe(len(touched))
+                    fanouts[i] = len(touched)
                     if not len(touched):
                         plans[i] = ("zero", regions)
                         continue
@@ -600,35 +720,54 @@ class ShardedQueryEngine:
                     for shard in touched.tolist():
                         per_shard.setdefault(shard, []).append(i)
 
-            futures = []
-            with tracer.span("sharded.scatter", subbatches=len(per_shard)):
+            t_routed = pc()
+            # The scatter span wraps submission *and* the gather wait so
+            # the grafted worker spans fall inside their parent interval;
+            # stage metrics split the two ("scatter" = submission cost,
+            # "worker_wait" = time until the last sub-batch returned).
+            batch_spans: List[dict] = []
+            with tracer.span(
+                "sharded.scatter", subbatches=len(per_shard)
+            ) as scatter_span:
+                futures: Dict[object, int] = {}
                 for shard, indices in per_shard.items():
                     self._metric_scattered.inc(len(indices))
-                    futures.append(
-                        self._executor.submit(
+                    try:
+                        future = self._executor.submit(
                             _worker_run,
                             shard,
                             [(i, queries[i]) for i in indices],
                         )
-                    )
-            with tracer.span("sharded.gather", subbatches=len(futures)):
-                for future in as_completed(futures):
-                    shard, payload, dump = future.result()
-                    if dump is not None:
-                        self._registry.absorb(
-                            dump, skip=PARENT_ACCOUNTED_METRICS
-                        )
-                    for index, values, edges, nodes in payload:
-                        entry = merged[index]
-                        acc: List[float] = entry["values"]
-                        for j, value in enumerate(values):
-                            acc[j] += value
-                        # Structural accounting is region-determined,
-                        # hence identical across shards.
-                        entry["edges"] = edges
-                        entry["nodes"] = nodes
+                    except BrokenProcessPool as exc:
+                        # An already-broken pool fails at submit time.
+                        self._worker_crashed(shard, exc)
+                    futures[future] = shard
+                t_submitted = pc()
+                with tracer.span("sharded.gather", subbatches=len(futures)):
+                    for future in as_completed(futures):
+                        try:
+                            shard, payload, dump, spans = future.result()
+                        except BrokenProcessPool as exc:
+                            self._worker_crashed(futures[future], exc)
+                        if spans:
+                            batch_spans.extend(spans)
+                            tracer.graft(spans, under=scatter_span)
+                        if dump is not None:
+                            self._registry.absorb(
+                                dump, skip=PARENT_ACCOUNTED_METRICS
+                            )
+                        for index, values, edges, nodes in payload:
+                            entry = merged[index]
+                            acc: List[float] = entry["values"]
+                            for j, value in enumerate(values):
+                                acc[j] += value
+                            # Structural accounting is region-determined,
+                            # hence identical across shards.
+                            entry["edges"] = edges
+                            entry["nodes"] = nodes
+            t_gathered = pc()
 
-            elapsed = pc() - start
+            elapsed = t_gathered - start
             share = elapsed / n if n else 0.0
             self._metric_seconds.inc(elapsed)
             results: List[QueryResult] = []
@@ -679,11 +818,71 @@ class ShardedQueryEngine:
                         elapsed=share,
                     )
                 )
+            stage_s = {
+                "route": t_routed - start,
+                "scatter": t_submitted - t_routed,
+                "worker_wait": t_gathered - t_submitted,
+                "merge": pc() - t_gathered,
+            }
+            for stage, seconds in stage_s.items():
+                self._metric_stage[stage].observe(seconds)
+            self._last_stage_s = stage_s
+            self._last_fanout = fanouts
+            if self.flight is not None:
+                self._record_flight(results, fanouts, stage_s, batch_spans)
         assert len(results) == n and all(
             result.query is query
             for result, query in zip(results, queries)
         ), "sharded gather broke the input-order result contract"
         return results
+
+    def _worker_crashed(self, shard: int, exc: BaseException) -> None:
+        """Account and surface a dead worker pool (never silent).
+
+        The pool is unrecoverable once broken; the finalizer still owns
+        segment cleanup, so callers can (and should) ``close()``.
+        """
+        self._metric_crashes.inc()
+        log.error(
+            "shard worker pool died %s",
+            kv(shard=shard, error=type(exc).__name__),
+        )
+        raise QueryError(
+            f"sharded worker pool died while executing shard {shard}"
+        ) from exc
+
+    def _record_flight(
+        self,
+        results: List[QueryResult],
+        fanouts: List[int],
+        stage_s: Dict[str, float],
+        batch_spans: List[dict],
+    ) -> None:
+        """One flight record per query of the batch.
+
+        Stage timings and grafted worker spans describe the *batch* the
+        query rode in (a scattered query has no private stage
+        breakdown), so slow promotions share the batch detail.
+        """
+        flight = self.flight
+        for result, fanout in zip(results, fanouts):
+            record = flight.record(
+                result.query,
+                planner="sharded",
+                elapsed_s=result.elapsed,
+                value=result.value,
+                missed=result.missed,
+                fanout=fanout,
+                stage_s=stage_s,
+            )
+            if record.slow:
+                detail: Dict[str, object] = {
+                    "shards": self.shards,
+                    "stage_s": dict(stage_s),
+                }
+                if batch_spans:
+                    detail["spans"] = batch_spans
+                record.detail = detail
 
     def _zero_accounting(
         self,

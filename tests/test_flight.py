@@ -1,0 +1,385 @@
+"""Flight recorder and cross-process trace lanes.
+
+Covers the always-on query flight recorder (bounded ring, oldest-first
+eviction, strict slow-query promotion, slow-ring survival, engine and
+framework threading) and the distributed-tracing acceptance path: a
+multi-shard batch whose worker spans are grafted into the parent trace
+and exported as Chrome trace-viewer lanes keyed by worker pid.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from test_query_planner import _battery, _deployment
+
+from repro.core import FrameworkConfig, InNetworkFramework
+from repro.geometry import BBox
+from repro.obs import (
+    FlightRecorder,
+    Instrumentation,
+    MetricsRegistry,
+    Tracer,
+    query_digest,
+)
+from repro.query import (
+    QueryEngine,
+    RangeQuery,
+    SHARDED_STAGES,
+    ShardedQueryEngine,
+)
+from repro.trajectories import EventColumns
+
+HORIZON = 86400.0
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    """(network, form, columns, battery) shared by the sharded tests."""
+    network, form, workload = _deployment("organic", 8, seed=37)
+    domain = network.domain
+    columns = EventColumns.from_events(domain, workload.events(domain))
+    battery = _battery(domain, HORIZON, seed=61)
+    return network, form, columns, battery
+
+
+def _query(i: int = 0) -> RangeQuery:
+    return RangeQuery(BBox(0, 0, 5 + i, 5), 0.0, 3600.0)
+
+
+# ----------------------------------------------------------------------
+# Ring-buffer bounds
+# ----------------------------------------------------------------------
+class TestRing:
+    def test_capacity_never_exceeded(self):
+        flight = FlightRecorder(capacity=8)
+        for i in range(100):
+            flight.record(_query(i), planner="compiled", elapsed_s=1e-4)
+            assert len(flight) <= 8
+        assert len(flight) == 8
+        assert flight.total == 100
+
+    def test_oldest_first_eviction(self):
+        flight = FlightRecorder(capacity=4)
+        for i in range(10):
+            flight.record(_query(i), planner="compiled", elapsed_s=1e-4)
+        seqs = [entry.seq for entry in flight.records]
+        assert seqs == [7, 8, 9, 10]  # newest 4 survive, oldest first
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            FlightRecorder(capacity=0)
+
+    def test_dump_round_trip(self, tmp_path):
+        flight = FlightRecorder(capacity=4, slow_threshold_s=1e-6)
+        flight.record(_query(), planner="python", elapsed_s=0.5,
+                      value=3.0, fanout=2, stage_s={"route": 0.1})
+        path = tmp_path / "flight.json"
+        flight.dump(path)
+        doc = json.loads(path.read_text())
+        assert doc["capacity"] == 4
+        assert doc["total"] == 1
+        assert doc["slow_total"] == 1
+        (entry,) = doc["records"]
+        assert entry["digest"] == query_digest(_query())
+        assert entry["planner"] == "python"
+        assert entry["slow"] is True
+        assert entry["stage_s"] == {"route": 0.1}
+
+
+# ----------------------------------------------------------------------
+# Slow-query promotion
+# ----------------------------------------------------------------------
+class TestPromotion:
+    def test_promotion_strictly_above_threshold(self):
+        flight = FlightRecorder(slow_threshold_s=0.01)
+        at = flight.record(_query(), planner="compiled", elapsed_s=0.01)
+        below = flight.record(_query(), planner="compiled", elapsed_s=0.0099)
+        above = flight.record(_query(), planner="compiled", elapsed_s=0.0101)
+        assert not at.slow and not below.slow
+        assert above.slow
+        assert flight.slow_total == 1
+        assert flight.slow_records == (above,)
+
+    def test_slow_records_survive_fast_traffic(self):
+        flight = FlightRecorder(capacity=8, slow_threshold_s=0.01)
+        slow = flight.record(_query(), planner="compiled", elapsed_s=0.5)
+        for i in range(50):  # cycle the main ring many times over
+            flight.record(_query(i), planner="compiled", elapsed_s=1e-4)
+        assert slow not in flight.records
+        assert slow in flight.slow_records
+
+    def test_detail_attached_by_caller(self):
+        flight = FlightRecorder(slow_threshold_s=1e-6)
+        entry = flight.record(_query(), planner="sharded", elapsed_s=0.2)
+        assert entry.slow
+        entry.detail = {"shards": 4}
+        assert flight.slow_records[0].as_dict()["detail"] == {"shards": 4}
+
+    def test_format_slow_newest_first(self):
+        flight = FlightRecorder(slow_threshold_s=1e-6)
+        flight.record(_query(0), planner="compiled", elapsed_s=0.2)
+        flight.record(_query(1), planner="compiled", elapsed_s=0.3)
+        lines = flight.format_slow()
+        assert lines[0].startswith("#2 ")
+        assert lines[1].startswith("#1 ")
+
+    def test_digest_stable_and_distinct(self):
+        assert query_digest(_query(0)) == query_digest(_query(0))
+        assert query_digest(_query(0)) != query_digest(_query(1))
+
+
+# ----------------------------------------------------------------------
+# Engine threading (single-process and sharded)
+# ----------------------------------------------------------------------
+class TestEngineRecording:
+    def test_query_engine_records_each_query(self, deployment):
+        network, form, _, battery = deployment
+        flight = FlightRecorder(slow_threshold_s=1e9)
+        engine = QueryEngine(network, form, flight=flight)
+        for query in battery[:10]:
+            engine.execute(query)
+        assert flight.total == 10
+        answered = [e for e in flight.records if not e.missed]
+        missed = [e for e in flight.records if e.missed]
+        assert answered
+        for entry in answered:
+            assert entry.planner == engine.planner_in_use
+            assert entry.elapsed_s > 0
+            assert set(entry.stage_s) >= {"resolve_junctions", "integrate"}
+        for entry in missed:  # misses record the phases that did run
+            assert "resolve_junctions" in entry.stage_s
+            assert "integrate" not in entry.stage_s
+
+    def test_promotion_captures_provenance(self, deployment):
+        network, form, _, battery = deployment
+        flight = FlightRecorder(slow_threshold_s=1e-9)
+        engine = QueryEngine(
+            network, form, flight=flight,
+            instrumentation=Instrumentation.on(provenance=True),
+        )
+        result = engine.execute(battery[0])
+        entry = flight.records[-1]
+        assert entry.slow
+        assert entry.detail is not None
+        if result.provenance is not None:
+            assert entry.detail["provenance"] == result.provenance.as_dict()
+
+    def test_sharded_engine_records_stage_breakdown(self, deployment):
+        network, _, columns, battery = deployment
+        flight = FlightRecorder(slow_threshold_s=1e-9)
+        with ShardedQueryEngine(
+            network, columns, shards=4, flight=flight
+        ) as engine:
+            results = engine.execute_batch(battery[:6])
+        assert flight.total == len(results)
+        answered = [e for e in flight.records if not e.missed]
+        assert answered, "battery produced no answered queries"
+        for entry in answered:
+            assert entry.planner == "sharded"
+            assert set(entry.stage_s) == set(SHARDED_STAGES)
+        slow = flight.slow_records[-1]
+        assert slow.detail is not None
+        assert slow.detail["shards"] == 4
+
+
+# ----------------------------------------------------------------------
+# Cross-process trace lanes (the acceptance trace)
+# ----------------------------------------------------------------------
+class TestTraceLanes:
+    def test_worker_spans_graft_into_pid_lanes(self, deployment, tmp_path):
+        network, _, columns, battery = deployment
+        tracer = Tracer()
+        obs = Instrumentation(
+            tracer=tracer, metrics=MetricsRegistry(), provenance=False
+        )
+        with ShardedQueryEngine(
+            network, columns, shards=4, workers=2, instrumentation=obs
+        ) as engine:
+            engine.execute_batch(battery[:12])
+
+        path = tmp_path / "trace.json"
+        tracer.export_chrome(path)
+        events = json.loads(path.read_text())["traceEvents"]
+        spans = [e for e in events if e["ph"] == "X"]
+        local = os.getpid()
+        foreign = {e["pid"] for e in spans if e["pid"] != local}
+        assert foreign, "no worker lanes in the merged trace"
+
+        # Every foreign lane is a real worker process carrying the
+        # worker-side span vocabulary.
+        by_pid = {}
+        for event in spans:
+            by_pid.setdefault(event["pid"], []).append(event)
+        for pid in foreign:
+            names = {e["name"] for e in by_pid[pid]}
+            assert "worker.run" in names
+            assert "worker.attach" in names
+            assert "query.integrate" in names
+
+        # Lanes are labelled: one process_name metadata event per pid.
+        meta = {
+            e["pid"]: e["args"]["name"]
+            for e in events
+            if e["ph"] == "M" and e["name"] == "process_name"
+        }
+        assert meta[local].startswith("parent")
+        for pid in foreign:
+            assert meta[pid] == f"shard-worker {pid}"
+
+        # Grafted worker spans sit inside their parent scatter span:
+        # perf_counter is shared across fork, so the intervals are
+        # directly comparable and worker time must be covered by the
+        # scatter interval that awaited it.
+        scatters = [e for e in by_pid[local] if e["name"] == "sharded.scatter"]
+        runs = [
+            e
+            for pid in foreign
+            for e in by_pid[pid]
+            if e["name"] == "worker.run"
+        ]
+        assert runs
+        for run in runs:
+            assert any(
+                s["ts"] <= run["ts"]
+                and run["ts"] + run["dur"] <= s["ts"] + s["dur"]
+                for s in scatters
+            ), "worker.run outside every parent scatter interval"
+
+    def test_worker_tid_is_shard_lane(self, deployment):
+        network, _, columns, battery = deployment
+        tracer = Tracer()
+        obs = Instrumentation(
+            tracer=tracer, metrics=MetricsRegistry(), provenance=False
+        )
+        with ShardedQueryEngine(
+            network, columns, shards=3, workers=1, instrumentation=obs
+        ) as engine:
+            engine.execute_batch(battery[:12])
+        grafted = [
+            child
+            for root in tracer.roots
+            for child in _walk(root)
+            if child.name == "worker.run"
+        ]
+        assert grafted
+        for span in grafted:
+            assert span.pid is not None and span.pid != os.getpid()
+            assert span.tid == span.attributes["shard"] + 1
+
+
+def _walk(span):
+    yield span
+    for child in span.children:
+        yield from _walk(child)
+
+
+# ----------------------------------------------------------------------
+# Sharded EXPLAIN parity
+# ----------------------------------------------------------------------
+class TestShardedExplain:
+    def test_parity_with_single_process(self, deployment):
+        network, form, columns, battery = deployment
+        query = battery[0]
+        reference_engine = QueryEngine(
+            network, form,
+            instrumentation=Instrumentation.on(provenance=True),
+        )
+        reference = reference_engine.execute(query)
+        with ShardedQueryEngine(network, columns, shards=4) as engine:
+            plan = engine.explain(query)
+        assert plan.planner == "sharded"
+        assert plan.region_ids == tuple(reference.regions)
+        assert plan.boundary_length == reference.provenance.boundary_length
+        assert plan.sensors_accessed == reference.nodes_accessed
+        assert plan.edges_accessed == reference.edges_accessed
+        assert plan.value == reference.value
+        assert plan.shards == 4
+        assert plan.fanout >= 1
+        assert set(plan.stage_s) == set(SHARDED_STAGES)
+        text = plan.format()
+        assert "scatter_gather" in text
+        assert "shards=4" in text
+
+    def test_collapsed_engine_delegates(self, deployment):
+        network, form, columns, battery = deployment
+        with ShardedQueryEngine(network, columns, shards=1) as engine:
+            assert engine.planner_in_use != "sharded"
+            plan = engine.explain(battery[0])
+        assert plan.shards == 0  # single-process plan, no scatter section
+        assert "scatter_gather" not in plan.format()
+
+
+# ----------------------------------------------------------------------
+# Framework threading
+# ----------------------------------------------------------------------
+class TestFrameworkFlight:
+    @pytest.fixture(scope="class")
+    def framework(self, request):
+        organic_domain = request.getfixturevalue("organic_domain")
+        workload = request.getfixturevalue("workload")
+        fw = InNetworkFramework(organic_domain)
+        fw.deploy(
+            FrameworkConfig(selector="quadtree", budget=20, seed=3,
+                            flight_capacity=64, slow_query_s=1e-9)
+        )
+        fw.ingest_trips(workload.trips)
+        return fw
+
+    def test_config_sizes_recorder(self, framework):
+        flight = framework.flight_log()
+        assert flight.capacity == 64
+        assert flight.slow_threshold_s == 1e-9
+
+    def test_queries_recorded_and_promoted(self, framework, workload):
+        flight = framework.flight_log()
+        before = flight.total
+        framework.query(BBox(1, 1, 9, 9), 0.0, workload.horizon / 2)
+        assert flight.total == before + 1
+        assert flight.slow_total >= 1  # threshold is one nanosecond
+
+    def test_injected_recorder_survives_deploy(self, organic_domain):
+        mine = FlightRecorder(capacity=7)
+        fw = InNetworkFramework(organic_domain, flight=mine)
+        fw.deploy(FrameworkConfig(selector="uniform", budget=10, seed=0))
+        assert fw.flight_log() is mine
+        assert mine.capacity == 7
+
+    def test_sharded_framework_explain(self):
+        # A fresh domain: the shared session fixture's edge interner
+        # accumulates synthetic edges from other tests, which the
+        # sharded partition would then try to locate.
+        from repro.mobility import organic_city
+        from repro.trajectories import WorkloadConfig, generate_workload
+
+        road = organic_city(blocks=40, rng=np.random.default_rng(0))
+        fw = InNetworkFramework.from_road_graph(road)
+        fw.deploy(
+            FrameworkConfig(selector="quadtree", budget=20, seed=3,
+                            planner="sharded", shards=2)
+        )
+        workload = generate_workload(
+            fw.domain,
+            WorkloadConfig(n_trips=150, horizon_days=1.0,
+                           mean_dwell=3600.0, seed=5),
+        )
+        fw.ingest_trips(workload.trips)
+        try:
+            plan = fw.explain(BBox(1, 1, 9, 9), 0.0, workload.horizon / 2)
+            assert plan.planner == "sharded"
+            assert plan.shards == 2
+            assert "scatter_gather" in plan.format()
+        finally:
+            fw.close()
+
+    def test_config_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(flight_capacity=0)
+        with pytest.raises(ConfigurationError):
+            FrameworkConfig(slow_query_s=0)

@@ -290,10 +290,14 @@ class TestShmLifecycle:
         gc.collect()
         assert _segments() == before
 
-    def test_worker_crash_still_cleans_up(self, deployment):
+    def test_worker_crash_still_cleans_up(self, deployment, capsys):
         network, _, columns, battery = deployment
         before = _segments()
-        engine = ShardedQueryEngine(network, columns, shards=2, workers=1)
+        registry = MetricsRegistry()
+        with use_registry(registry):
+            engine = ShardedQueryEngine(
+                network, columns, shards=2, workers=1
+            )
         engine.execute_batch(battery[:8])  # spawn the worker
         for pid in list(engine._executor._processes):
             os.kill(pid, signal.SIGKILL)
@@ -304,6 +308,16 @@ class TestShmLifecycle:
             ):
                 break
             time.sleep(0.05)
+        # A batch against the dead pool surfaces a structured error
+        # (counter + log record), never a bare BrokenProcessPool.
+        with pytest.raises(QueryError, match="worker pool died"):
+            engine.execute_batch(battery[:8])
+        snap = registry.snapshot()
+        assert snap["counters"]["repro_shard_worker_crash_total"] >= 1
+        captured = capsys.readouterr()
+        out = captured.out + captured.err
+        assert "shard worker pool died" in out
+        assert "error=BrokenProcessPool" in out
         engine.close()
         assert _segments() == before
 
