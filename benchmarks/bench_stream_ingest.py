@@ -1,0 +1,303 @@
+"""Sustained streaming ingestion: incremental appends vs per-window
+rebuild, with tail-query latency sampled by the telemetry recorder.
+
+The streaming claim: feeding arrival windows through the LSM-style
+:class:`repro.stream.StreamingEventStore` (tail fold + periodic
+compaction) sustains a steady events/sec that the batch alternative —
+rebuilding the compiled form from the cumulative stream after every
+window, the only way to keep queries current without an append path —
+cannot match, because the rebuild cost grows with history while the
+append cost does not.  Queries interleave with ingestion and run
+against tail+blocks, so the measured latency includes the live
+(uncompacted) tail.
+
+Runs two ways:
+
+- under pytest-benchmark with the other benches
+  (``pytest benchmarks/bench_stream_ingest.py``);
+- standalone (``python benchmarks/bench_stream_ingest.py``), printing
+  a table and optionally updating the committed
+  ``benchmarks/BENCH_stream.json`` (``--write``).  ``--smoke`` runs
+  the small scale, asserts streamed query answers are field-identical
+  to a batch-built form, and exits non-zero if streaming ingest
+  throughput regressed more than 2x against the committed artifact —
+  the CI gate.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # standalone invocation without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.evaluation import DEFAULT_CONFIG, SMALL_CONFIG
+from repro.evaluation.harness import PipelineConfig
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, organic_city
+from repro.obs import (
+    MetricsRegistry,
+    TimeSeriesRecorder,
+    get_registry,
+    set_registry,
+)
+from repro.query import QueryEngine, RangeQuery
+from repro.sampling import sampled_network
+from repro.selection import QuadTreeSelector, SensorCandidates
+from repro.stream import StreamingEventStore
+from repro.trajectories import EventColumns, WorkloadConfig, generate_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_stream.json"
+
+#: Sampled-network size fraction (matches the ingest benchmark).
+SAMPLED_FRACTION = 0.256
+
+#: Smoke gate: fail if streaming events/sec drops below committed / 2.
+REGRESSION_FACTOR = 2.0
+
+#: Arrival-window size fed per append (and the compaction cadence).
+WINDOW = 1024
+
+#: Interleave one probe query battery every N arrival windows.
+QUERY_EVERY = 4
+
+SCALES = {"smoke": SMALL_CONFIG, "default": DEFAULT_CONFIG}
+
+
+def build_scene(config: PipelineConfig):
+    """Domain + time-sorted event stream + one sampled network."""
+    rng = np.random.default_rng(config.road_seed)
+    road = organic_city(blocks=config.blocks, rng=rng)
+    domain = MobilityDomain(road)
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(
+            n_trips=config.n_trips,
+            horizon_days=config.horizon_days,
+            mean_dwell=config.mean_dwell,
+            seed=config.trip_seed,
+        ),
+    )
+    events = sorted(workload.events(domain), key=lambda e: e.t)
+    candidates = SensorCandidates.from_domain(domain)
+    m = max(int(round(SAMPLED_FRACTION * domain.block_count)), 2)
+    chosen = QuadTreeSelector().select(
+        candidates, min(m, len(candidates)), np.random.default_rng(1)
+    )
+    network = sampled_network(domain, chosen, name=f"quadtree-m{m}")
+    horizon = workload.horizon
+    return domain, network, events, horizon
+
+
+def _probe_queries(domain, horizon):
+    bounds = domain.bounds
+    boxes = [
+        BBox.from_center(bounds.center, bounds.width * f, bounds.height * f)
+        for f in (0.3, 0.6, 0.9)
+    ]
+    return [
+        RangeQuery(box, horizon * 0.1, horizon * 0.7) for box in boxes
+    ]
+
+
+def measure(scale: str, repeats: int) -> dict:
+    config = SCALES[scale]
+    set_registry(MetricsRegistry())
+    domain, network, events, horizon = build_scene(config)
+    windows = [
+        events[start:start + WINDOW]
+        for start in range(0, len(events), WINDOW)
+    ]
+    queries = _probe_queries(domain, horizon)
+    pc = time.perf_counter
+
+    # Sustained run: appends timed alone; probe queries interleave and
+    # land in the latency histogram, sampled by the telemetry recorder.
+    best_append_s = None
+    store = None
+    query_samples = 0
+    recorder = TimeSeriesRecorder(MetricsRegistry())
+    for _ in range(max(repeats, 1)):
+        set_registry(MetricsRegistry())
+        store = StreamingEventStore(network, compact_every=WINDOW)
+        engine = QueryEngine(network, store, planner="compiled")
+        recorder = TimeSeriesRecorder(get_registry())
+        append_s = 0.0
+        query_samples = 0
+        for i, window in enumerate(windows):
+            t0 = pc()
+            store.append_events(window)
+            append_s += pc() - t0
+            if i % QUERY_EVERY == 0:
+                for query in queries:
+                    engine.execute(query)
+                    query_samples += 1
+                recorder.sample()
+        recorder.sample()
+        if best_append_s is None or append_s < best_append_s:
+            best_append_s = append_s
+
+    latency = recorder.quantile_series("repro_query_latency_seconds", 0.95)
+    finite = [v for v in latency.values if v is not None]
+    query_p95_s = max(finite) if finite else None
+
+    # Batch alternative for live data: rebuild the compiled form from
+    # the cumulative stream after every arrival window.
+    columns = EventColumns.from_events(domain, events).time_sorted()
+    rebuild_s = 0.0
+    for end in range(WINDOW, len(events) + WINDOW, WINDOW):
+        prefix = columns.select(np.arange(min(end, len(events))))
+        t0 = pc()
+        network.build_form(prefix)
+        rebuild_s += pc() - t0
+
+    # Equivalence: streamed answers must be field-identical to a
+    # batch-built form over the full stream (always asserted).
+    batch_engine = QueryEngine(
+        network, network.build_form(columns), planner="compiled"
+    )
+    stream_engine = QueryEngine(network, store, planner="compiled")
+    for query in queries:
+        streamed = stream_engine.execute(query)
+        batch = batch_engine.execute(query)
+        assert (streamed.value, streamed.missed) == (
+            batch.value, batch.missed
+        ), f"stream/batch divergence on {query}"
+
+    observed = store.observed_total
+    return {
+        "scale": scale,
+        "blocks": config.blocks,
+        "n_trips": config.n_trips,
+        "n_events": len(events),
+        "n_observed": observed,
+        "window": WINDOW,
+        "windows": len(windows),
+        "compactions": store.compactions,
+        "block_merges": store.block_merges,
+        "stream_ingest_s": best_append_s,
+        "stream_events_per_s": len(events) / best_append_s,
+        "rebuild_ingest_s": rebuild_s,
+        "rebuild_events_per_s": len(events) / rebuild_s,
+        "incremental_speedup": rebuild_s / best_append_s,
+        "query_samples": query_samples,
+        "query_p95_s": query_p95_s,
+    }
+
+
+def format_entry(entry: dict) -> str:
+    p95 = entry["query_p95_s"]
+    return "\n".join([
+        f"scale={entry['scale']}  blocks={entry['blocks']}  "
+        f"trips={entry['n_trips']}  events={entry['n_events']} "
+        f"({entry['n_observed']} observed)",
+        f"windows={entry['windows']}x{entry['window']}  "
+        f"compactions={entry['compactions']}  "
+        f"merges={entry['block_merges']}",
+        f"stream  {entry['stream_ingest_s'] * 1e3:8.1f}ms  "
+        f"{entry['stream_events_per_s']:>12,.0f} events/s",
+        f"rebuild {entry['rebuild_ingest_s'] * 1e3:8.1f}ms  "
+        f"{entry['rebuild_events_per_s']:>12,.0f} events/s  "
+        f"(incremental speedup {entry['incremental_speedup']:.1f}x)",
+        f"tail query p95: "
+        + (f"{p95 * 1e3:.2f}ms" if p95 is not None else "n/a")
+        + f" over {entry['query_samples']} interleaved queries",
+    ])
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {"schema": 1, "entries": {}}
+
+
+def check_regression(entry: dict, baseline: dict) -> int:
+    """CI gate: streaming ingest throughput vs the committed run."""
+    committed = baseline.get("entries", {}).get(entry["scale"])
+    if committed is None:
+        print(
+            f"no committed baseline for scale {entry['scale']!r}; "
+            "run with --write first",
+            file=sys.stderr,
+        )
+        return 1
+    reference = committed["stream_events_per_s"]
+    got = entry["stream_events_per_s"]
+    floor = reference / REGRESSION_FACTOR
+    verdict = "ok" if got >= floor else "REGRESSION"
+    print(
+        f"streaming ingest {got:,.0f} events/s "
+        f"(committed {reference:,.0f}, floor {floor:,.0f}) {verdict}"
+    )
+    return 0 if got >= floor else 1
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="pipeline scale to measure (default: default)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="measure the smoke scale, assert stream==batch equivalence "
+        "and fail on a >2x ingest-throughput regression against the "
+        "committed BENCH_stream.json",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="update the measured scale's entry in BENCH_stream.json",
+    )
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    scale = "smoke" if args.smoke else args.scale
+    entry = measure(scale, args.repeats)
+    print(format_entry(entry))
+
+    status = 0
+    if args.smoke and not args.write:
+        status = check_regression(entry, load_baseline())
+    if args.write:
+        baseline = load_baseline()
+        baseline["entries"][scale] = entry
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return status
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry point
+# ----------------------------------------------------------------------
+def bench_stream_ingest(benchmark):
+    from _common import emit
+
+    entry = measure("smoke", repeats=2)
+    emit(
+        "stream_ingest",
+        "Sustained streaming ingestion: incremental vs rebuild",
+        format_entry(entry),
+        series={"entry": entry},
+        config=SCALES["smoke"],
+    )
+
+    def run():
+        set_registry(MetricsRegistry())
+        _, network, events, _ = bench_stream_ingest._scene
+        store = StreamingEventStore(network, compact_every=WINDOW)
+        store.append_events(events)
+
+    bench_stream_ingest._scene = build_scene(SCALES["smoke"])
+    benchmark(run)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -82,7 +82,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, planner=args.planner,
                         shards=args.shards, seed=args.seed,
-                        slow_query_s=args.slow_ms / 1e3)
+                        slow_query_s=args.slow_ms / 1e3,
+                        streaming=args.stream,
+                        compact_every=args.compact_every)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -95,8 +97,43 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         WorkloadConfig(n_trips=args.trips, horizon_days=1.0,
                        mean_dwell=3600.0, seed=args.seed),
     )
-    n_events = framework.ingest_trips(workload.trips)
-    log.info(f"ingested: {n_events} crossing events")
+    if args.stream:
+        from repro.errors import QueryError
+        from repro.geometry import BBox as _BBox
+        from repro.trajectories import all_events
+
+        events = sorted(all_events(domain, workload.trips),
+                        key=lambda event: event.t)
+        monitor = framework.monitor()
+        watch = _BBox.from_center(domain.bounds.center,
+                                  domain.bounds.width * 0.45,
+                                  domain.bounds.height * 0.45)
+        try:
+            monitor.add_region("center", watch)
+        except QueryError:
+            monitor = None
+        batch = max(args.compact_every // 2, 1)
+        n_events = 0
+        windows = 0
+        for start in range(0, len(events), batch):
+            n_events += framework.ingest_events(events[start:start + batch])
+            windows += 1
+        store = framework.streaming_store
+        log.info(f"streamed: {n_events} crossing events over {windows} "
+                 f"arrival windows ({store.observed_total} observed)")
+        log.info(f"stream layout: tail {store.tail_events} events, "
+                 f"{store.block_count} blocks x {store.block_events} "
+                 f"events, {store.compactions} compactions, "
+                 f"{store.block_merges} merges, "
+                 f"generation {store.generation}")
+        if monitor is not None:
+            live = monitor.count("center")
+            exact_live = store.resync(monitor, events[-1].t)["center"]
+            log.info(f"standing query 'center': live count {live:.0f} "
+                     f"(exact resync {exact_live:.0f})")
+    else:
+        n_events = framework.ingest_trips(workload.trips)
+        log.info(f"ingested: {n_events} crossing events")
 
     injector = None
     if args.faults > 0:
@@ -473,6 +510,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--slow-ms", type=float, default=100.0,
                       help="flight-recorder slow-query promotion "
                            "threshold in milliseconds")
+    demo.add_argument("--stream", action="store_true",
+                      help="streaming ingestion: feed events in arrival "
+                           "windows through the LSM-style store "
+                           "(incremental index maintenance + a standing "
+                           "count monitor) instead of one batch build")
+    demo.add_argument("--compact-every", type=int, default=1024,
+                      help="streaming tail size that triggers a "
+                           "compaction (with --stream)")
     demo.set_defaults(handler=_cmd_demo)
 
     monitor = commands.add_parser(

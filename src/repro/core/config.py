@@ -37,6 +37,13 @@ class FrameworkConfig:
     ``slow_query_s`` is its slow-query promotion threshold: queries
     slower than this carry full detail (provenance, grafted worker
     spans) in the flight log.
+
+    ``streaming`` switches ingestion to the append-only
+    :class:`~repro.stream.StreamingEventStore` (LSM-style mutable tail
+    + compacted CSR blocks): ``ingest_events`` then updates indexes
+    incrementally instead of rebuilding, and ``compact_every`` sets
+    the tail size that triggers a compaction.  Streaming requires the
+    exact store — learned models refit from scratch.
     """
 
     selector: str = "quadtree"
@@ -49,6 +56,8 @@ class FrameworkConfig:
     seed: int = 0
     flight_capacity: int = 256
     slow_query_s: float = 0.1
+    streaming: bool = False
+    compact_every: int = 4096
 
     _SELECTORS = (
         "uniform",
@@ -100,6 +109,13 @@ class FrameworkConfig:
             raise ConfigurationError(
                 "sharded querying requires store='exact' (learned "
                 "models are not sharded)"
+            )
+        if self.compact_every < 1:
+            raise ConfigurationError("compact_every must be >= 1")
+        if self.streaming and self.store != "exact":
+            raise ConfigurationError(
+                "streaming ingestion requires store='exact' (learned "
+                "models refit from scratch, they cannot be appended to)"
             )
 
     @property

@@ -48,7 +48,9 @@ from ..query import (
     RangeQuery,
     ShardedQueryEngine,
 )
+from ..query.continuous import ContinuousCountMonitor
 from ..sampling import SensorNetwork, full_network, sampled_network, wall_network
+from ..stream import StreamingEventStore
 from ..selection import (
     KDTreeSelector,
     QuadTreeSelector,
@@ -101,6 +103,13 @@ class InNetworkFramework:
         self._store: Optional[EdgeCountStore] = None
         self._columns: Optional[EventColumns] = None
         self._sharded: Optional[ShardedQueryEngine] = None
+        self._streaming: Optional[StreamingEventStore] = None
+        self._closed = False
+        #: Dirty flags of the streaming path: appends leave the full
+        #: reference form and the columnar snapshot stale; both are
+        #: rebuilt lazily on first use instead of per arrival window.
+        self._full_dirty = False
+        self._columns_dirty = False
         with self.obs.tracer.span("deploy.full_reference_network"):
             self._full = full_network(domain)
         self._query_history: List[Set[NodeId]] = []
@@ -141,6 +150,7 @@ class InNetworkFramework:
         Re-deploying re-ingests previously ingested events into the new
         configuration automatically.
         """
+        self._guard_open()
         tracer = self.obs.tracer
         with tracer.span(
             "deploy", selector=config.selector, budget=config.budget
@@ -228,8 +238,9 @@ class InNetworkFramework:
             self.network = network
             self._form = None
             self._store = None
+            self._streaming = None
             self._drop_sharded()
-            if self._events:
+            if self._events or config.streaming:
                 self._rebuild_stores()
         return network
 
@@ -243,11 +254,31 @@ class InNetworkFramework:
         return self.ingest_events(events)
 
     def ingest_events(self, events: Iterable[CrossingEvent]) -> int:
-        """Ingest an anonymous crossing-event stream."""
+        """Ingest an anonymous crossing-event stream.
+
+        With a batch deployment every ingest rebuilds the stores from
+        the cumulative event list.  With ``streaming=True`` the events
+        are appended to the live
+        :class:`~repro.stream.StreamingEventStore` — the query indexes
+        update incrementally (tail fold, periodic compaction), the
+        cached sharded engine is invalidated, and the full reference
+        form is merely marked dirty (rebuilt lazily by
+        :meth:`query_exact`).
+        """
+        self._guard_open()
         events = list(events)
         with self.obs.tracer.span("ingest", events=len(events)):
             self._events.extend(events)
-            self._rebuild_stores()
+            if self._streaming is not None:
+                with self.obs.tracer.span(
+                    "ingest.stream_append", events=len(events)
+                ):
+                    self._streaming.append_events(events)
+                self._drop_sharded()
+                self._full_dirty = True
+                self._columns_dirty = True
+            else:
+                self._rebuild_stores()
         get_registry().counter(
             "repro_events_ingested_total",
             help="Crossing events ingested by the framework",
@@ -261,16 +292,39 @@ class InNetworkFramework:
             self._sharded.close()
             self._sharded = None
 
+    def _guard_open(self) -> None:
+        if self._closed:
+            raise QueryError(
+                "framework is closed; create a new InNetworkFramework"
+            )
+
     def _rebuild_stores(self) -> None:
         tracer = self.obs.tracer
         self._drop_sharded()
         with tracer.span("ingest.columnarize", events=len(self._events)):
             columns = EventColumns.from_events(self.domain, self._events)
         self._columns = columns
+        self._columns_dirty = False
         with tracer.span("ingest.build_form", network="full"):
             self._full_form = self._full.build_form(columns)
+        self._full_dirty = False
         if self.network is None:
             return
+        if self.config is not None and self.config.streaming:
+            with tracer.span(
+                "ingest.build_stream", events=len(self._events)
+            ):
+                store = StreamingEventStore(
+                    self.network,
+                    compact_every=self.config.compact_every,
+                )
+                if self._events:
+                    store.append_events(self._events)
+            self._streaming = store
+            self._form = None
+            self._store = store
+            return
+        self._streaming = None
         with tracer.span("ingest.build_form", network=self.network.name):
             self._form = self.network.build_form(columns)
         if self.config is not None and self.config.store != "exact":
@@ -279,6 +333,18 @@ class InNetworkFramework:
                 self._store = ModeledCountStore.fit(self._form, factory)
         else:
             self._store = self._form
+
+    def _refresh_columns(self) -> None:
+        """Re-columnarise the cumulative event list after streaming
+        appends left the snapshot stale (sharded rebuilds and
+        ``query_exact`` need it; streamed queries do not)."""
+        with self.obs.tracer.span(
+            "ingest.columnarize", events=len(self._events)
+        ):
+            self._columns = EventColumns.from_events(
+                self.domain, self._events
+            )
+        self._columns_dirty = False
 
     # ------------------------------------------------------------------
     # Querying
@@ -314,6 +380,7 @@ class InNetworkFramework:
         over shards.  Pass ``sharded=False`` to force the
         single-process engine.
         """
+        self._guard_open()
         if self.network is None or self._store is None:
             raise QueryError("deploy() and ingest first")
         config = self.config
@@ -321,6 +388,8 @@ class InNetworkFramework:
             sharded = config is not None and config.sharded
         if sharded and faults is None:
             if self._sharded is None or self._sharded.closed:
+                if self._columns_dirty:
+                    self._refresh_columns()
                 self._sharded = ShardedQueryEngine(
                     self.network,
                     self._columns,
@@ -344,10 +413,16 @@ class InNetworkFramework:
         )
 
     def close(self) -> None:
-        """Release pooled resources (the cached sharded engine's
-        worker processes and shared-memory segments).  The framework
-        stays usable; the next sharded query rebuilds the engine."""
+        """Shut the framework down: release the cached sharded
+        engine's worker processes and shared-memory segments, close
+        the streaming store, and mark the framework terminal.  Further
+        ``deploy``/``ingest_events``/``engine``/``query`` calls raise a
+        structured :class:`~repro.errors.QueryError` instead of
+        failing deep inside a released resource.  Idempotent."""
         self._drop_sharded()
+        if self._streaming is not None:
+            self._streaming.close()
+        self._closed = True
 
     def flight_log(self) -> FlightRecorder:
         """The always-on query flight recorder shared by every engine
@@ -417,6 +492,13 @@ class InNetworkFramework:
         kind: str = STATIC,
     ) -> QueryResult:
         """Exact answer from the full (unsampled) sensing graph."""
+        self._guard_open()
+        if self._full_dirty:
+            if self._columns_dirty:
+                self._refresh_columns()
+            with self.obs.tracer.span("ingest.build_form", network="full"):
+                self._full_form = self._full.build_form(self._columns)
+            self._full_dirty = False
         if self._full_form is None:
             raise QueryError("ingest trips or events first")
         engine = QueryEngine(
@@ -428,13 +510,54 @@ class InNetworkFramework:
         return engine.execute(RangeQuery(box, t1, t2, kind=kind))
 
     # ------------------------------------------------------------------
+    # Streaming
+    # ------------------------------------------------------------------
+    @property
+    def streaming_store(self) -> Optional[StreamingEventStore]:
+        """The live streaming store (``None`` unless deployed with
+        ``streaming=True``)."""
+        return self._streaming
+
+    def monitor(self, keep_history: bool = False) -> ContinuousCountMonitor:
+        """A standing-query monitor folded on every streamed arrival.
+
+        Requires a streaming deployment: the monitor is attached to
+        the :class:`~repro.stream.StreamingEventStore`, so each
+        ``ingest_events`` updates its regional counts in the same pass
+        that appends to the tail, and
+        :meth:`~repro.stream.StreamingEventStore.resync` recovers
+        exact counts from the store whenever the fold may have
+        drifted (duplicate deliveries, replays).
+        """
+        self._guard_open()
+        if self._streaming is None:
+            raise QueryError(
+                "monitor() needs a streaming deployment "
+                "(FrameworkConfig(streaming=True))"
+            )
+        if self.network is None:
+            raise QueryError("deploy() first")
+        monitor = ContinuousCountMonitor(
+            self.network, keep_history=keep_history
+        )
+        self._streaming.attach_monitor(monitor)
+        return monitor
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
     @property
     def storage_bytes(self) -> int:
         """Storage of the deployed count representation."""
         if isinstance(self._store, ModeledCountStore):
             return self._store.storage_bytes
+        if self._streaming is not None:
+            return self._streaming.total_events * 8
         if self._form is not None:
             return self._form.total_events * 8
         return 0

@@ -89,6 +89,109 @@ class CompiledTrackingForm:
 
         self._init_runtime_state(boundary_cache_size)
 
+    # ------------------------------------------------------------------
+    # Incremental maintenance (the streaming ingest path)
+    # ------------------------------------------------------------------
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped by every :meth:`append_events`.
+
+        Anything keyed on this form's *contents* — planner boundary
+        caches, flight-recorder digests, memoised standing counts —
+        must incorporate the generation so an in-place append
+        invalidates it.  Zero for forms never appended to, so static
+        pipelines keep their existing cache keys.
+        """
+        return self._generation
+
+    def append_events(
+        self,
+        edge_id: np.ndarray,
+        direction: np.ndarray,
+        t: np.ndarray,
+    ) -> int:
+        """Merge new columnar events into the CSR index in place.
+
+        Per direction the incoming ``(edge_id, t)`` rows are merged
+        with the existing grouped-by-edge sorted segments by one
+        ``np.lexsort`` over the concatenated arrays — O((n+m) log(n+m))
+        per call, which is why the streaming store batches appends into
+        compaction-sized chunks rather than calling this per event.
+
+        Appending **invalidates every compiled boundary chain**: the
+        merged signed prefix-sum series cached in the LRU bake the
+        timestamps in, so the cache is cleared and the form's
+        :attr:`generation` bumped — cache keys derived from the chain
+        bytes alone would otherwise serve stale integrals.  Returns the
+        number of events merged.
+        """
+        edge_id = np.asarray(edge_id, dtype=np.int64)
+        direction = np.asarray(direction)
+        t = np.asarray(t, dtype=np.float64)
+        n_new = len(t)
+        if n_new == 0:
+            return 0
+        # The shared interner may have grown since compile time; widen
+        # the frozen id universe to cover the incoming ids.
+        n_ids = max(self._n_ids, int(edge_id.max()) + 1)
+
+        values: List[np.ndarray] = []
+        offsets: List[np.ndarray] = []
+        for d in (0, 1):
+            mask = direction == d
+            ids_new = edge_id[mask]
+            t_new = t[mask]
+            old_counts = np.diff(self._offsets[d])
+            ids_old = np.repeat(
+                np.arange(len(old_counts), dtype=np.int64), old_counts
+            )
+            ids_all = np.concatenate((ids_old, ids_new))
+            t_all = np.concatenate((self._values[d], t_new))
+            # Group by edge id, sorted by time inside each segment —
+            # exactly the compile-time CSR invariant.
+            order = np.lexsort((t_all, ids_all))
+            counts = np.bincount(ids_all, minlength=n_ids)
+            values.append(np.ascontiguousarray(t_all[order]))
+            offsets.append(
+                np.concatenate(([0], np.cumsum(counts))).astype(np.int64)
+            )
+        self._values = (values[0], values[1])
+        self._offsets = (offsets[0], offsets[1])
+        self._n_ids = n_ids
+        # Every cached chain embeds the old timestamp series: drop all.
+        self._boundaries.clear()
+        self._generation += 1
+        return n_new
+
+    def to_columns(self, interner: "EdgeInterner" = None):
+        """Reconstruct the stored events as time-sorted
+        :class:`~repro.trajectories.EventColumns` (streaming snapshot
+        and shard-rebuild interop; the per-event order of simultaneous
+        crossings is not preserved)."""
+        from ..trajectories import EventColumns
+
+        ids_parts: List[np.ndarray] = []
+        dir_parts: List[np.ndarray] = []
+        t_parts: List[np.ndarray] = []
+        for d in (0, 1):
+            counts = np.diff(self._offsets[d])
+            n = int(counts.sum())
+            ids_parts.append(
+                np.repeat(
+                    np.arange(len(counts), dtype=np.int32),
+                    counts,
+                )
+            )
+            dir_parts.append(np.full(n, d, dtype=np.int8))
+            t_parts.append(self._values[d])
+        columns = EventColumns(
+            interner=interner if interner is not None else self._interner,
+            edge_id=np.concatenate(ids_parts),
+            direction=np.concatenate(dir_parts),
+            t=np.concatenate(t_parts),
+        )
+        return columns.time_sorted()
+
     def _init_runtime_state(self, boundary_cache_size: int) -> None:
         """Per-instance mutable state: boundary cache + metric refs.
 
@@ -103,6 +206,8 @@ class CompiledTrackingForm:
             OrderedDict()
         )
         self._boundary_cache_size = int(boundary_cache_size)
+        #: In-place mutation counter (see :attr:`generation`).
+        self._generation = 0
 
         # Instrument references are bound to the registry current at
         # compile time (swap the global registry before building the

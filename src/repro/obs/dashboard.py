@@ -42,6 +42,17 @@ STAGE_PANELS = tuple(
     for stage in ("route", "scatter", "worker_wait", "merge")
 )
 
+#: Streaming-ingestion sparklines (tail-vs-block layout of the
+#: :class:`~repro.stream.StreamingEventStore`); silently skipped when
+#: no streaming store ran.
+STREAM_PANELS = (
+    ("ingest/s", "repro_stream_events_total", "rate", None),
+    ("compactions/s", "repro_stream_compactions_total", "rate", None),
+    ("tail events", "repro_stream_tail_events", "gauge", None),
+    ("block events", "repro_stream_block_events", "gauge", None),
+    ("blocks", "repro_stream_blocks", "gauge", None),
+)
+
 #: Sparklines rendered when their metric exists, in display order:
 #: (title, metric, kind, quantile-or-None).
 DEFAULT_PANELS = (
@@ -55,7 +66,7 @@ DEFAULT_PANELS = (
     ("p95 latency (s)", "repro_query_latency_seconds", "quantile", 0.95),
     ("p99 latency (s)", "repro_query_latency_seconds", "quantile", 0.99),
     ("p95 degradation", "repro_sim_degradation", "quantile", 0.95),
-) + STAGE_PANELS
+) + STREAM_PANELS + STAGE_PANELS
 
 _CSS = """
 body { font: 13px/1.45 system-ui, sans-serif; margin: 24px;
@@ -227,6 +238,8 @@ def render_dashboard(
     for label, metric, kind, q in panels:
         if kind == "rate":
             series = recorder.rate_series(metric)
+        elif kind == "gauge":
+            series = recorder.gauge_series(metric)
         else:
             series = recorder.quantile_series(metric, q)
         if all(v is None for v in series.values):

@@ -58,6 +58,7 @@ class FlightRecord:
         "fanout",
         "stage_s",
         "degraded",
+        "generation",
         "slow",
         "detail",
     )
@@ -74,6 +75,7 @@ class FlightRecord:
         fanout: int,
         stage_s: Optional[Dict[str, float]],
         degraded: Optional[str],
+        generation: Optional[int] = None,
     ) -> None:
         self.seq = seq
         self.wall_time = wall_time
@@ -85,6 +87,7 @@ class FlightRecord:
         self.fanout = fanout
         self.stage_s = stage_s
         self.degraded = degraded
+        self.generation = generation
         self.slow = False
         #: Promotion payload (provenance dict, serialized spans, …);
         #: attached by the caller when ``slow`` is True.
@@ -93,7 +96,7 @@ class FlightRecord:
     @property
     def digest(self) -> str:
         """Short stable digest of the query parameters (lazy)."""
-        return query_digest(self.query)
+        return query_digest(self.query, generation=self.generation)
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-safe representation; this is where lazy work happens."""
@@ -111,6 +114,7 @@ class FlightRecord:
             "fanout": self.fanout,
             "stage_s": dict(self.stage_s) if self.stage_s else {},
             "degraded": self.degraded,
+            "generation": self.generation,
             "slow": self.slow,
         }
         if self.detail is not None:
@@ -125,11 +129,18 @@ class FlightRecord:
         )
 
 
-def query_digest(query: Any) -> str:
+def query_digest(query: Any, generation: Optional[int] = None) -> str:
     """Deterministic 12-hex-char digest of a query's parameters.
 
     Same rectangle/interval/kind/bound → same digest, so repeated slow
     queries group in the flight log.  Computed only at dump time.
+
+    ``generation`` is the data version of the store the query ran
+    against (streaming stores bump it on every append).  Mixing it in
+    keeps digests truthful over mutable data: the same rectangle asked
+    before and after an append is a *different* answer and must not
+    group.  ``None`` — a static, build-once store — leaves the digest
+    exactly as before.
     """
     box = getattr(query, "box", None)
     key = (
@@ -139,6 +150,8 @@ def query_digest(query: Any) -> str:
         getattr(query, "kind", None),
         getattr(query, "bound", None),
     )
+    if generation is not None:
+        key = key + (int(generation),)
     return hashlib.sha1(repr(key).encode()).hexdigest()[:12]
 
 
@@ -182,10 +195,12 @@ class FlightRecorder:
         fanout: int = 0,
         stage_s: Optional[Dict[str, float]] = None,
         degraded: Optional[str] = None,
+        generation: Optional[int] = None,
     ) -> FlightRecord:
         """Append one record; returns it so a slow caller can attach
         ``detail``.  Promotion fires iff ``elapsed_s`` strictly exceeds
-        the threshold."""
+        the threshold.  ``generation`` is the store's data version at
+        execution time (``None`` for static stores)."""
         self._seq += 1
         entry = FlightRecord(
             self._seq,
@@ -198,6 +213,7 @@ class FlightRecorder:
             fanout,
             stage_s,
             degraded,
+            generation,
         )
         self._ring.append(entry)
         if elapsed_s > self.slow_threshold_s:

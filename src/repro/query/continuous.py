@@ -39,6 +39,9 @@ class RegionState:
     last_event_time: Optional[float] = None
     #: History of (time, count) checkpoints (kept when enabled).
     history: List[Tuple[float, float]] = field(default_factory=list)
+    #: Inward-oriented boundary chain this region resolved to (used by
+    #: :meth:`ContinuousCountMonitor.reevaluate` for exact recovery).
+    boundary: Tuple[DirectedEdge, ...] = ()
 
 
 class ContinuousCountMonitor:
@@ -61,6 +64,10 @@ class ContinuousCountMonitor:
         self._subscriptions: Dict[
             Tuple[Hashable, Hashable], List[Tuple[RegionState, Set]]
         ] = {}
+        #: (store generation, t) -> counts of the last reevaluation.
+        self._resync_memo: Optional[Tuple[int, float, Dict[str, float]]] = (
+            None
+        )
 
     # ------------------------------------------------------------------
     def add_region(self, name: str, box: BBox) -> RegionState:
@@ -73,8 +80,10 @@ class ContinuousCountMonitor:
             raise QueryError(
                 f"region {name!r} misses: no sensing region fits inside"
             )
-        state = RegionState(name=name, regions=tuple(regions))
-        boundary = self.network.region_boundary(regions)
+        boundary = tuple(self.network.region_boundary(regions))
+        state = RegionState(
+            name=name, regions=tuple(regions), boundary=boundary
+        )
         inward_heads: Dict[Tuple, Set] = {}
         for tail, head in boundary:
             wall = canonical_edge(tail, head)
@@ -82,6 +91,7 @@ class ContinuousCountMonitor:
         for wall, heads in inward_heads.items():
             self._subscriptions.setdefault(wall, []).append((state, heads))
         self._states[name] = state
+        self._resync_memo = None
         return state
 
     def remove_region(self, name: str) -> None:
@@ -95,14 +105,36 @@ class ContinuousCountMonitor:
                 self._subscriptions[wall] = remaining
             else:
                 del self._subscriptions[wall]
+        self._resync_memo = None
 
     # ------------------------------------------------------------------
     def observe(self, event: CrossingEvent) -> None:
-        """Fold one crossing event into every subscribed region."""
+        """Fold one crossing event into every subscribed region.
+
+        The count fold itself is commutative (+1 entry / -1 exit), so
+        arrival order does not affect live counts.  The ``(time,
+        count)`` *history* is not: a checkpoint stream only means
+        anything if times ascend, so with ``keep_history=True`` an
+        out-of-order event raises a structured
+        :class:`~repro.errors.QueryError` before any state mutates —
+        feed time-sorted streams (or re-sort the window) when history
+        is on.  Duplicate deliveries are undetectable on anonymous
+        events and double-count; recover with :meth:`reevaluate`
+        against the backing store.
+        """
         wall = canonical_edge(event.tail, event.head)
         subscribers = self._subscriptions.get(wall)
         if not subscribers:
             return
+        if self.keep_history:
+            for state, _ in subscribers:
+                last = state.last_event_time
+                if last is not None and event.t < last:
+                    raise QueryError(
+                        f"out-of-order event at t={event.t} behind "
+                        f"region {state.name!r} checkpoint t={last}; "
+                        "history checkpoints need a time-sorted stream"
+                    )
         for state, inward_heads in subscribers:
             if event.head in inward_heads:
                 state.count += 1
@@ -110,7 +142,10 @@ class ContinuousCountMonitor:
             else:
                 state.count -= 1
                 state.exits += 1
-            state.last_event_time = event.t
+            if state.last_event_time is None:
+                state.last_event_time = event.t
+            else:
+                state.last_event_time = max(state.last_event_time, event.t)
             if self.keep_history:
                 state.history.append((event.t, state.count))
 
@@ -121,6 +156,42 @@ class ContinuousCountMonitor:
             self.observe(event)
             processed += 1
         return processed
+
+    # ------------------------------------------------------------------
+    def reevaluate(self, store, t: float) -> Dict[str, float]:
+        """Recover every region's exact count at time ``t`` from a
+        count store, repairing any fold drift (duplicate deliveries,
+        replayed windows) in place.
+
+        Each region's stored inward boundary chain is integrated
+        through ``store.integrate_until`` — Theorem 4.2, the same
+        evaluation a fresh static query would run — and
+        ``state.count`` is overwritten with the exact value.
+        ``entries``/``exits`` stay as observed-fold telemetry.  When
+        the store exposes a ``generation`` (the streaming store does),
+        the answer is memoised on ``(generation, t)``, so repeated
+        resyncs between appends are free.  Returns the exact counts by
+        region name.
+        """
+        generation = getattr(store, "generation", None)
+        memo = self._resync_memo
+        if (
+            generation is not None
+            and memo is not None
+            and memo[0] == generation
+            and memo[1] == t
+        ):
+            for name, value in memo[2].items():
+                self._states[name].count = value
+            return dict(memo[2])
+        counts: Dict[str, float] = {}
+        for name, state in self._states.items():
+            exact = float(store.integrate_until(state.boundary, t))
+            state.count = exact
+            counts[name] = exact
+        if generation is not None:
+            self._resync_memo = (generation, t, dict(counts))
+        return counts
 
     # ------------------------------------------------------------------
     def count(self, name: str) -> float:

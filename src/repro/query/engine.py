@@ -883,6 +883,7 @@ class QueryEngine:
             missed=missed,
             stage_s=stage_s,
             degraded=degraded,
+            generation=getattr(self.store, "generation", None),
         )
         if record.slow:
             detail: Dict[str, object] = {"stage_s": dict(stage_s or {})}

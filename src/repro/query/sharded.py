@@ -367,6 +367,10 @@ class ShardedQueryEngine:
             else NULL_INSTRUMENTATION
         )
         self.flight = flight
+        #: Data version of the source store at partition time (the
+        #: shards are a snapshot of exactly that version); ``None``
+        #: for static build-once stores.
+        self._store_generation = getattr(store, "generation", None)
         self._registry = get_registry()
         self._bind_metrics()
         #: Stage wall times and per-query fan-outs of the last batch
@@ -865,6 +869,7 @@ class ShardedQueryEngine:
         breakdown), so slow promotions share the batch detail.
         """
         flight = self.flight
+        generation = self._store_generation
         for result, fanout in zip(results, fanouts):
             record = flight.record(
                 result.query,
@@ -874,6 +879,7 @@ class ShardedQueryEngine:
                 missed=result.missed,
                 fanout=fanout,
                 stage_s=stage_s,
+                generation=generation,
             )
             if record.slow:
                 detail: Dict[str, object] = {

@@ -469,11 +469,16 @@ class TestFrameworkThreading:
         assert _key(sharded_result) == _key(single)
         framework.close()
         assert engine.closed
-        # The next sharded query transparently rebuilds the engine.
-        rebuilt = framework.engine()
-        assert isinstance(rebuilt, ShardedQueryEngine)
-        assert rebuilt is not engine
-        framework.close()
+        assert framework.closed
+        # close() is terminal: the framework raises a structured
+        # QueryError instead of failing deep inside released pools.
+        with pytest.raises(QueryError, match="closed"):
+            framework.engine()
+        with pytest.raises(QueryError, match="closed"):
+            framework.query(box, 0.0, HORIZON)
+        with pytest.raises(QueryError, match="closed"):
+            framework.ingest_trips(workload.trips[:1])
+        framework.close()  # idempotent
 
     def test_reingest_invalidates_sharded_engine(self):
         road = grid_city(rows=4, cols=4, jitter=0.0, drop_fraction=0.0)

@@ -1,0 +1,545 @@
+"""Streaming ingestion: the LSM-style event store, incremental compiled
+appends, and the stale-cache/consistency sweep.
+
+Covers:
+
+- :class:`repro.stream.StreamingEventStore` unit behaviour (wall
+  filtering, generation bumps, auto-compaction, bounded block merges,
+  snapshot round-trip, closed-store guards);
+- the :meth:`repro.forms.CompiledTrackingForm.append_events` stale
+  boundary-LRU regression (pre-PR the class had no append path and the
+  compiled-boundary cache could never be invalidated on mutation);
+- randomized streaming ↔ batch equivalence: arrival order ×
+  compaction cadence × planner (python / compiled / sharded) must be
+  field-identical, including a query issued *mid-compaction*;
+- terminal ``close()`` semantics (structured QueryError, never a bare
+  AttributeError from a released resource);
+- :class:`repro.query.ContinuousCountMonitor` drift under duplicate /
+  out-of-order delivery, the ordering contract with history on, and
+  generation-memoised exact recovery via ``reevaluate``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from test_query_planner import _battery, _key
+
+from repro.core import FrameworkConfig, InNetworkFramework
+from repro.errors import ConfigurationError, QueryError
+from repro.forms import CompiledTrackingForm, TrackingForm
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, grid_city
+from repro.planar import EdgeInterner
+from repro.query import (
+    ContinuousCountMonitor,
+    QueryEngine,
+    RangeQuery,
+    ShardedQueryEngine,
+)
+from repro.stream import StreamingEventStore, replay
+from repro.trajectories import (
+    CrossingEvent,
+    EventColumns,
+    WorkloadConfig,
+    generate_workload,
+)
+
+HORIZON = 86400.0
+
+
+# ----------------------------------------------------------------------
+# Shared small deployment (module-scoped: many grid combinations below)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def grid_road():
+    return grid_city(rows=6, cols=6, jitter=0.0, drop_fraction=0.0)
+
+
+@pytest.fixture(scope="module")
+def grid_events(grid_road):
+    domain = MobilityDomain(grid_road)
+    workload = generate_workload(
+        domain, WorkloadConfig(n_trips=150, horizon_days=1.0, seed=5)
+    )
+    return sorted(workload.events(domain), key=lambda e: e.t)
+
+
+def _deploy(road, *, streaming, planner="auto", shards=1, compact_every=256):
+    framework = InNetworkFramework.from_road_graph(road)
+    framework.deploy(
+        FrameworkConfig(
+            budget=10,
+            seed=3,
+            planner=planner,
+            shards=shards,
+            streaming=streaming,
+            compact_every=compact_every,
+        )
+    )
+    return framework
+
+
+def _arrange(events, order):
+    if order == "sorted":
+        return list(events)
+    if order == "reversed":
+        return list(events)[::-1]
+    shuffled = list(events)
+    random.Random(17).shuffle(shuffled)
+    return shuffled
+
+
+def _chunks(events, size):
+    for start in range(0, len(events), size):
+        yield events[start:start + size]
+
+
+# ----------------------------------------------------------------------
+# StreamingEventStore unit behaviour (on the shared organic fixtures)
+# ----------------------------------------------------------------------
+class TestStreamingEventStore:
+    def test_append_filters_to_walls(self, sampled_net, events):
+        store = StreamingEventStore(sampled_net, compact_every=10**9)
+        observed = store.append_events(events)
+        reference = sampled_net.build_form(events)
+        assert observed == reference.total_events
+        assert store.total_events == observed
+        assert store.tail_events == observed  # never compacted
+        assert store.block_count == 0
+        assert store.generation == 1
+        assert store.observed_total == observed
+
+    def test_empty_batch_does_not_bump_generation(self, sampled_net):
+        store = StreamingEventStore(sampled_net)
+        assert store.append_events([]) == 0
+        assert store.generation == 0
+
+    def test_counts_match_batch_form(
+        self, sampled_net, sampled_form, events
+    ):
+        store = StreamingEventStore(sampled_net, compact_every=500)
+        replay(store, events, batch=333)
+        assert store.compactions > 0
+        assert store.tail_events + store.block_events == (
+            sampled_form.total_events
+        )
+        for edge in list(store.edges())[:12]:
+            for t in (HORIZON * 0.25, HORIZON * 0.75):
+                assert store.net_until(edge, t) == (
+                    sampled_form.net_until(edge, t)
+                )
+                assert store.count_entering(edge, t) == (
+                    sampled_form.count_entering(edge, t)
+                )
+        regions = tuple(
+            r for r in range(sampled_net.region_count)
+            if r != sampled_net.ext_region
+        )[:3]
+        boundary = sampled_net.region_boundary(regions)
+        assert store.integrate_until(boundary, HORIZON * 0.5) == (
+            sampled_form.integrate_until(boundary, HORIZON * 0.5)
+        )
+
+    def test_block_merges_bound_fanout(self, sampled_net, sampled_form, events):
+        store = StreamingEventStore(
+            sampled_net, compact_every=64, max_blocks=2
+        )
+        replay(store, events, batch=64)
+        assert store.block_count <= 2
+        assert store.block_merges > 0
+        edge = next(iter(store.edges()))
+        assert store.net_until(edge, HORIZON) == (
+            sampled_form.net_until(edge, HORIZON)
+        )
+
+    def test_compact_empty_tail_is_noop(self, sampled_net):
+        store = StreamingEventStore(sampled_net)
+        assert store.compact() is False
+        assert store.generation == 0
+
+    def test_snapshot_columns_round_trip(
+        self, organic_domain, sampled_net, events
+    ):
+        store = StreamingEventStore(sampled_net, compact_every=700)
+        replay(store, events, batch=701)
+        snapshot = store.snapshot_columns()
+        reference = sampled_net.observed_columns(
+            EventColumns.from_events(organic_domain, events)
+        ).time_sorted()
+        # Same multiset of (edge, direction, time) triples; order within
+        # equal timestamps may differ between the two paths.
+        got = np.lexsort((snapshot.direction, snapshot.edge_id, snapshot.t))
+        want = np.lexsort(
+            (reference.direction, reference.edge_id, reference.t)
+        )
+        np.testing.assert_array_equal(
+            snapshot.edge_id[got], reference.edge_id[want]
+        )
+        np.testing.assert_array_equal(
+            snapshot.direction[got], reference.direction[want]
+        )
+        np.testing.assert_array_equal(snapshot.t[got], reference.t[want])
+
+    def test_closed_store_raises_structured(self, sampled_net, events):
+        store = StreamingEventStore(sampled_net)
+        store.append_events(events[:50])
+        store.close()
+        store.close()  # idempotent
+        assert store.closed
+        with pytest.raises(QueryError, match="closed"):
+            store.append_events(events[:5])
+        with pytest.raises(QueryError, match="closed"):
+            store.net_until(("a", "b"), 1.0)
+        with pytest.raises(QueryError, match="closed"):
+            store.integrate_until([], 1.0)
+        with pytest.raises(QueryError, match="closed"):
+            store.snapshot_columns()
+        assert store.describe()["closed"] is True
+
+    def test_describe_and_repr(self, sampled_net, events):
+        store = StreamingEventStore(sampled_net, compact_every=100)
+        replay(store, events[:300], batch=100)
+        layout = store.describe()
+        assert layout["observed_total"] == store.observed_total
+        assert layout["blocks"] == store.block_count
+        assert "generation" in repr(store) or "tail" in repr(store)
+
+
+# ----------------------------------------------------------------------
+# CompiledTrackingForm.append_events — the stale boundary-LRU regression
+# ----------------------------------------------------------------------
+def _compile(events, interner=None):
+    interner = interner or EdgeInterner()
+    ids = np.empty(len(events), dtype=np.int64)
+    dirs = np.empty(len(events), dtype=np.int8)
+    ts = np.empty(len(events), dtype=np.float64)
+    for i, (u, v, t) in enumerate(events):
+        eid, forward = interner.intern(u, v)
+        ids[i] = eid
+        dirs[i] = 0 if forward else 1
+        ts[i] = t
+    order = np.argsort(ts, kind="stable")
+    return (
+        CompiledTrackingForm(interner, ids[order], dirs[order], ts[order]),
+        interner,
+        (ids, dirs, ts),
+    )
+
+
+class TestCompiledAppendRegression:
+    EVENTS_A = [("a", "b", 1.0), ("b", "c", 2.0), ("c", "a", 3.0),
+                ("b", "a", 4.0), ("a", "b", 5.0)]
+    EVENTS_B = [("a", "b", 2.5), ("b", "c", 0.5), ("a", "c", 6.0)]
+
+    def test_query_append_requery(self):
+        """Pre-PR regression: a compiled boundary chain cached by a
+        query survived mutation, so a re-query after an append served
+        the stale prefix sums (and pre-PR there was no append path at
+        all — this test fails with AttributeError there)."""
+        form, interner, _ = _compile(self.EVENTS_A)
+        chain = (("a", "b"), ("b", "c"))
+        before = form.integrate_until(chain, 10.0)
+        assert form.generation == 0
+
+        _, _, (ids, dirs, ts) = _compile(self.EVENTS_B, interner)
+        appended = form.append_events(ids, dirs, ts)
+        assert appended == len(self.EVENTS_B)
+        assert form.generation == 1
+
+        fresh, _, _ = _compile(self.EVENTS_A + self.EVENTS_B)
+        for t in (0.4, 2.6, 10.0):
+            assert form.integrate_until(chain, t) == (
+                fresh.integrate_until(chain, t)
+            ), "stale boundary cache served after append"
+        assert form.integrate_until(chain, 10.0) != before
+
+    def test_id_native_chain_also_invalidated(self):
+        form, interner, _ = _compile(self.EVENTS_A)
+        eid, _ = interner.intern("a", "b")
+        wall_ids = np.array([eid], dtype=np.int64)
+        signs = np.array([1], dtype=np.int8)
+        form.integrate_until_ids(wall_ids, signs, 10.0)  # primes the LRU
+
+        _, _, arrays = _compile(self.EVENTS_B, interner)
+        form.append_events(*arrays)
+        fresh, _, _ = _compile(self.EVENTS_A + self.EVENTS_B)
+        assert form.integrate_until_ids(wall_ids, signs, 10.0) == (
+            fresh.integrate_until_ids(wall_ids, signs, 10.0)
+        )
+
+    def test_append_matches_tracking_form(self):
+        form, interner, _ = _compile(self.EVENTS_A)
+        _, _, arrays = _compile(self.EVENTS_B, interner)
+        form.append_events(*arrays)
+        tracking = TrackingForm()
+        for u, v, t in self.EVENTS_A + self.EVENTS_B:
+            tracking.record(u, v, t)
+        for edge in tracking.edges():
+            for t in (0.0, 1.5, 4.5, 10.0):
+                assert form.net_until(edge, t) == tracking.net_until(edge, t)
+        assert form.total_events == tracking.total_events
+
+    def test_to_columns_round_trip(self):
+        form, interner, _ = _compile(self.EVENTS_A)
+        columns = form.to_columns()
+        rebuilt = CompiledTrackingForm(
+            interner, columns.edge_id.astype(np.int64),
+            columns.direction, columns.t,
+        )
+        for edge in form.edges():
+            assert rebuilt.net_until(edge, 10.0) == form.net_until(edge, 10.0)
+
+
+# ----------------------------------------------------------------------
+# Streaming ↔ batch equivalence grid
+# ----------------------------------------------------------------------
+class TestStreamingBatchEquivalence:
+    @pytest.mark.parametrize("order", ["sorted", "shuffled", "reversed"])
+    @pytest.mark.parametrize("compact_every", [64, 256, 10**9])
+    def test_streamed_equals_batch(
+        self, grid_road, grid_events, order, compact_every
+    ):
+        batch = _deploy(grid_road, streaming=False)
+        batch.ingest_events(grid_events)
+        streamed = _deploy(
+            grid_road, streaming=True, compact_every=compact_every
+        )
+        for window in _chunks(_arrange(grid_events, order), 97):
+            streamed.ingest_events(window)
+        store = streamed.streaming_store
+        assert store.total_events == batch._form.total_events
+
+        queries = _battery(streamed.domain, HORIZON, seed=23, n_boxes=8)
+        reference = [
+            _key(batch.engine(sharded=False).execute(q)) for q in queries
+        ]
+        for planner in ("python", "compiled"):
+            engine = QueryEngine(
+                streamed.network, store, planner=planner
+            )
+            got = [_key(engine.execute(q)) for q in queries]
+            assert got == reference, (order, compact_every, planner)
+        batch.close()
+        streamed.close()
+
+    def test_sharded_streaming_equivalence(self, grid_road, grid_events):
+        batch = _deploy(grid_road, streaming=False)
+        batch.ingest_events(grid_events)
+        streamed = _deploy(
+            grid_road, streaming=True, shards=2, compact_every=128
+        )
+        for window in _chunks(_arrange(grid_events, "shuffled"), 173):
+            streamed.ingest_events(window)
+        engine = streamed.engine()
+        assert isinstance(engine, ShardedQueryEngine)
+        queries = _battery(streamed.domain, HORIZON, seed=29, n_boxes=6)
+        got = [_key(r) for r in engine.execute_batch(queries)]
+        want = [
+            _key(batch.engine(sharded=False).execute(q)) for q in queries
+        ]
+        assert got == want
+        batch.close()
+        streamed.close()
+
+    def test_append_invalidates_sharded_engine(self, grid_road, grid_events):
+        framework = _deploy(grid_road, streaming=True, shards=2)
+        framework.ingest_events(grid_events[:400])
+        first = framework.engine()
+        framework.ingest_events(grid_events[400:500])
+        second = framework.engine()
+        assert first.closed
+        assert second is not first
+        framework.close()
+
+    def test_query_during_compaction(self, grid_road, grid_events):
+        """A query fired from the ``built`` compaction phase — the new
+        block exists but the swap has not happened — must see exactly
+        one copy of every event."""
+        framework = _deploy(
+            grid_road, streaming=True, compact_every=10**9
+        )
+        framework.ingest_events(grid_events)
+        store = framework.streaming_store
+        engine = QueryEngine(framework.network, store, planner="compiled")
+        query = RangeQuery(framework.domain.bounds, 0.0, HORIZON * 0.6)
+        before = engine.execute(query).value
+
+        seen = {}
+
+        def probe(s, phase):
+            seen[phase] = engine.execute(query).value
+
+        store.on_compact(probe)
+        assert store.compact() is True
+        assert seen["built"] == before, "mid-compaction double/zero count"
+        assert seen["swapped"] == before
+        assert engine.execute(query).value == before
+        assert store.tail_events == 0 and store.block_count == 1
+        framework.close()
+
+    def test_flight_digest_changes_on_append(self, grid_road, grid_events):
+        """Satellite: the flight-recorder digest must change on every
+        append so repeated rectangles over mutated data never group as
+        one query."""
+        framework = _deploy(grid_road, streaming=True)
+        framework.ingest_events(grid_events[:600])
+        box = framework.domain.bounds
+        framework.query(box, 0.0, HORIZON)
+        first = framework.flight_log().records[-1]
+        framework.ingest_events(grid_events[600:700])
+        framework.query(box, 0.0, HORIZON)
+        second = framework.flight_log().records[-1]
+        assert first.generation is not None
+        assert second.generation > first.generation
+        assert first.digest != second.digest
+        framework.close()
+
+    def test_static_store_digest_stable(self, grid_road, grid_events):
+        """On an unchanged store, repeated identical queries keep
+        grouping under one digest (the generation is stable)."""
+        framework = _deploy(grid_road, streaming=False)
+        framework.ingest_events(grid_events[:200])
+        box = framework.domain.bounds
+        framework.query(box, 0.0, HORIZON)
+        framework.query(box, 0.0, HORIZON)
+        records = framework.flight_log().records
+        assert records[-1].generation == records[-2].generation
+        assert records[-1].digest == records[-2].digest
+        framework.close()
+
+
+# ----------------------------------------------------------------------
+# Terminal close semantics
+# ----------------------------------------------------------------------
+class TestClosedFramework:
+    def test_close_is_terminal_and_structured(self, grid_road, grid_events):
+        framework = _deploy(grid_road, streaming=True)
+        framework.ingest_events(grid_events[:100])
+        store = framework.streaming_store
+        framework.close()
+        assert framework.closed
+        assert store.closed
+        with pytest.raises(QueryError, match="closed"):
+            framework.ingest_events(grid_events[:5])
+        with pytest.raises(QueryError, match="closed"):
+            framework.query(framework.domain.bounds, 0.0, HORIZON)
+        with pytest.raises(QueryError, match="closed"):
+            framework.query_exact(framework.domain.bounds, 0.0, HORIZON)
+        with pytest.raises(QueryError, match="closed"):
+            framework.deploy(FrameworkConfig(budget=8))
+        with pytest.raises(QueryError, match="closed"):
+            framework.monitor()
+        framework.close()  # idempotent
+
+    def test_streaming_requires_exact_store(self):
+        with pytest.raises(ConfigurationError, match="streaming"):
+            FrameworkConfig(streaming=True, store="linear")
+        with pytest.raises(ConfigurationError, match="compact_every"):
+            FrameworkConfig(compact_every=0)
+
+    def test_monitor_requires_streaming(self, grid_road):
+        framework = _deploy(grid_road, streaming=False)
+        with pytest.raises(QueryError, match="streaming"):
+            framework.monitor()
+        framework.close()
+
+
+# ----------------------------------------------------------------------
+# Monitor consistency: drift, ordering contract, exact recovery
+# ----------------------------------------------------------------------
+class TestMonitorConsistency:
+    WATCH = BBox(1.5, 1.5, 8.5, 8.5)
+
+    def test_out_of_order_counts_match_oracle(self, sampled_net, events):
+        """The count fold is commutative: shuffled delivery must land on
+        the same counts as sorted delivery, and ``last_event_time``
+        must be the max (pre-PR it was last-seen and regressed)."""
+        sorted_events = sorted(events[:2000], key=lambda e: e.t)
+        shuffled = list(sorted_events)
+        random.Random(3).shuffle(shuffled)
+
+        oracle = ContinuousCountMonitor(sampled_net)
+        oracle_state = oracle.add_region("centre", self.WATCH)
+        oracle.observe_stream(sorted_events)
+
+        monitor = ContinuousCountMonitor(sampled_net)
+        state = monitor.add_region("centre", self.WATCH)
+        monitor.observe_stream(shuffled)
+
+        assert state.count == oracle_state.count
+        assert state.entries == oracle_state.entries
+        assert state.exits == oracle_state.exits
+        assert state.last_event_time == oracle_state.last_event_time
+
+    def test_history_enforces_ordering_contract(self, sampled_net):
+        monitor = ContinuousCountMonitor(sampled_net, keep_history=True)
+        state = monitor.add_region("centre", self.WATCH)
+        tail, head = state.boundary[0]
+        monitor.observe(CrossingEvent(tail, head, 100.0))
+        count_before = state.count
+        with pytest.raises(QueryError, match="out-of-order"):
+            monitor.observe(CrossingEvent(tail, head, 50.0))
+        # The rejected event mutated nothing.
+        assert state.count == count_before
+        assert state.last_event_time == 100.0
+        times = [t for t, _ in state.history]
+        assert times == sorted(times)
+
+    def test_without_history_out_of_order_is_fine(self, sampled_net):
+        monitor = ContinuousCountMonitor(sampled_net)
+        state = monitor.add_region("centre", self.WATCH)
+        tail, head = state.boundary[0]
+        monitor.observe(CrossingEvent(tail, head, 100.0))
+        monitor.observe(CrossingEvent(tail, head, 50.0))
+        assert state.last_event_time == 100.0
+
+    def test_duplicate_drift_repaired_by_reevaluate(
+        self, grid_road, grid_events
+    ):
+        framework = _deploy(grid_road, streaming=True, compact_every=512)
+        monitor = framework.monitor()
+        bounds = framework.domain.bounds
+        watch = BBox.from_center(
+            bounds.center, bounds.width * 0.6, bounds.height * 0.6
+        )
+        state = monitor.add_region("centre", watch)
+        framework.ingest_events(grid_events)
+        store = framework.streaming_store
+        exact = store.integrate_until(state.boundary, HORIZON * 2)
+        assert state.count == exact  # exactly-once fold via the store
+
+        # Simulate at-least-once delivery: the same window folded again
+        # directly.  The store holds each event once; the monitor now
+        # drifts (anonymous events cannot be deduplicated).
+        relevant = monitor.observe_stream(grid_events[:400])
+        if relevant:
+            assert state.count != exact
+        repaired = store.resync(monitor, HORIZON * 2)
+        assert repaired["centre"] == exact
+        assert state.count == exact
+        framework.close()
+
+    def test_reevaluate_is_generation_memoised(self, grid_road, grid_events):
+        framework = _deploy(grid_road, streaming=True)
+        monitor = framework.monitor()
+        bounds = framework.domain.bounds
+        monitor.add_region(
+            "centre",
+            BBox.from_center(
+                bounds.center, bounds.width * 0.6, bounds.height * 0.6
+            ),
+        )
+        framework.ingest_events(grid_events[:500])
+        store = framework.streaming_store
+        first = store.resync(monitor, HORIZON)
+        assert store.resync(monitor, HORIZON) == first  # memo hit
+        framework.ingest_events(grid_events[500:600])
+        second = store.resync(monitor, HORIZON)  # new generation, fresh
+        assert second["centre"] == store.integrate_until(
+            monitor.state("centre").boundary, HORIZON
+        )
+        framework.close()
