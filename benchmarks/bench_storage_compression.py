@@ -1,0 +1,380 @@
+"""Succinct storage tier: compression ratio, exactness, query latency.
+
+The tentpole claim of the compressed tier: delta-encoded, bit-packed
+timestamp columns (:class:`repro.forms.CompressedTrackingForm`) hold
+the same quantized crossing-event multisets as the plain compiled CSR
+form in >= 4x less memory, while the exact query path stays
+field-identical and warm query latency stays within 1.3x.
+
+Measured cells:
+
+====================  ============================================
+cell                  what it is
+====================  ============================================
+plain                 CompiledTrackingForm over quantized columns
+compressed            CompressedTrackingForm, same columns
+sketch/b{N}           EdgeCountSketch at N time bins (Pareto sweep)
+====================  ============================================
+
+Every storage number is the store's own ``storage_report()`` total
+(actual array bytes, not nominal accounting).  Latency is the warm
+batched exact path — one untimed pass compiles and caches the
+boundary chains, as any real battery does, then best-of-N timed
+passes run the steady state the latency contract is about.  The
+sketch sweep records bytes plus the measured mean/max error bound and
+the hit rate at a representative tolerance, which is the
+storage-vs-error Pareto curve EXPERIMENTS.md plots.
+
+Runs two ways:
+
+- under pytest-benchmark with the other benches
+  (``pytest benchmarks/bench_storage_compression.py``);
+- standalone (``python benchmarks/bench_storage_compression.py``),
+  printing the table and updating ``BENCH_storage.json`` (``--write``).
+  ``--smoke`` is the CI gate: it fails if the in-memory reduction
+  falls below the 4x acceptance floor, if any query of the battery
+  diverges between the plain and compressed exact paths, or if the
+  compressed warm-path latency exceeds 1.3x the plain form's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:  # standalone invocation without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+import numpy as np
+
+from repro.evaluation import DEFAULT_CONFIG, SMALL_CONFIG
+from repro.evaluation.harness import PipelineConfig
+from repro.forms import CompiledTrackingForm, CompressedTrackingForm
+from repro.forms.sketch import EdgeCountSketch
+from repro.geometry import BBox
+from repro.mobility import MobilityDomain, organic_city
+from repro.query import (
+    LOWER,
+    STATIC,
+    TRANSIENT,
+    UPPER,
+    QueryEngine,
+    RangeQuery,
+)
+from repro.sampling import sampled_network
+from repro.selection import QuadTreeSelector, SensorCandidates
+from repro.trajectories import EventColumns, WorkloadConfig, generate_workload
+
+BASELINE_PATH = Path(__file__).resolve().parent / "BENCH_storage.json"
+
+#: Sampled-network size fraction (matches the throughput benchmark).
+SAMPLED_FRACTION = 0.256
+
+#: Timestamp resolution of the succinct tier: 2**TICK_BITS ticks per
+#: second.  Whole seconds — trajectory crossing times are far noisier
+#: than 1s, and both stores are built from the *same* quantized
+#: columns so exactness is by construction, not despite rounding.
+TICK_BITS = 0
+
+#: Distinct query rectangles; each expands to kind x bound = 4 queries.
+N_BOXES = 60
+
+#: Acceptance floor: compressed bytes must be >= 4x smaller.
+RATIO_FLOOR = 4.0
+
+#: Warm-path latency ceiling: compressed batched exact-path seconds
+#: may not exceed plain by more than this factor.
+LATENCY_CEILING = 1.3
+
+#: Sketch Pareto sweep (bins axis of the storage-vs-error curve).
+SKETCH_BINS = (16, 64, 256)
+
+#: Tolerance used for the sketch hit-rate column (absolute count).
+SKETCH_TOLERANCE = 25.0
+
+GATE_SCALE = "default"
+
+SCALES = {"smoke": SMALL_CONFIG, "default": DEFAULT_CONFIG}
+
+
+def build_scene(config: PipelineConfig):
+    """Domain + quantized columns + both forms + a mixed battery."""
+    rng = np.random.default_rng(config.road_seed)
+    domain = MobilityDomain(organic_city(blocks=config.blocks, rng=rng))
+    workload = generate_workload(
+        domain,
+        WorkloadConfig(
+            n_trips=config.n_trips,
+            horizon_days=config.horizon_days,
+            mean_dwell=config.mean_dwell,
+            seed=config.trip_seed,
+        ),
+    )
+    columns = EventColumns.from_events(
+        domain, workload.events(domain)
+    ).quantized(TICK_BITS)
+    m = max(int(round(SAMPLED_FRACTION * domain.block_count)), 2)
+    chosen = QuadTreeSelector().select(
+        SensorCandidates.from_domain(domain),
+        min(m, domain.block_count),
+        np.random.default_rng(1),
+    )
+    network = sampled_network(domain, chosen, name=f"quadtree-m{m}")
+    observed = network.observed_columns(columns)
+    plain = CompiledTrackingForm(
+        columns.interner, observed.edge_id, observed.direction, observed.t
+    )
+    compressed = CompressedTrackingForm(
+        columns.interner,
+        observed.edge_id,
+        observed.direction,
+        observed.t,
+        tick_bits=TICK_BITS,
+    )
+    queries = make_battery(domain, workload.horizon)
+    return network, observed, plain, compressed, queries
+
+
+def make_battery(domain, horizon, n_boxes: int = N_BOXES):
+    rng = np.random.default_rng(99)
+    bounds = domain.bounds
+    queries = []
+    for _ in range(n_boxes):
+        w = rng.uniform(0.1, 0.6) * bounds.width
+        h = rng.uniform(0.1, 0.6) * bounds.height
+        box = BBox.from_center(
+            (rng.uniform(bounds.min_x, bounds.max_x),
+             rng.uniform(bounds.min_y, bounds.max_y)), w, h,
+        )
+        t1 = rng.uniform(0.0, horizon * 0.6)
+        t2 = t1 + rng.uniform(0.0, horizon * 0.4)
+        for kind in (STATIC, TRANSIENT):
+            for bound in (LOWER, UPPER):
+                queries.append(RangeQuery(box, t1, t2, kind=kind, bound=bound))
+    return queries
+
+
+def _timed_batteries(engines, queries, repeats: int):
+    """Per engine: (results, best warm seconds), passes interleaved.
+
+    Interleaving the timed rounds (plain, compressed, plain, ...)
+    instead of timing each engine in its own block keeps the latency
+    *ratio* stable under CPU frequency / cache drift across the run —
+    with sub-15ms batteries a sequential best-of-N can swing the
+    ratio by +-40% on a loaded machine.
+    """
+    results = [engine.execute_batch(queries) for engine in engines]
+    best = [None] * len(engines)  # warm pass above compiled the chains
+    for _ in range(repeats):
+        for i, engine in enumerate(engines):
+            t0 = time.perf_counter()
+            results[i] = engine.execute_batch(queries)
+            elapsed = time.perf_counter() - t0
+            best[i] = elapsed if best[i] is None else min(best[i], elapsed)
+    return list(zip(results, best))
+
+
+def measure(scale: str, repeats: int) -> dict:
+    config = SCALES[scale]
+    network, observed, plain, compressed, queries = build_scene(config)
+
+    plain_report = plain.storage_report()
+    comp_report = compressed.storage_report()
+    ratio = plain_report["total_bytes"] / max(comp_report["total_bytes"], 1)
+
+    (plain_results, plain_s), (comp_results, comp_s) = _timed_batteries(
+        [
+            QueryEngine(network, plain, planner="compiled"),
+            QueryEngine(network, compressed, planner="compiled"),
+        ],
+        queries,
+        repeats,
+    )
+    key = lambda r: (  # noqa: E731 - one-shot comparison key
+        r.value, r.missed, r.regions, r.edges_accessed, r.nodes_accessed
+    )
+    mismatches = sum(
+        1
+        for a, b in zip(plain_results, comp_results)
+        if key(a) != key(b)
+    )
+
+    entry = {
+        "scale": scale,
+        "blocks": config.blocks,
+        "n_trips": config.n_trips,
+        "events": int(plain.total_events),
+        "tick_bits": TICK_BITS,
+        "n_queries": len(queries),
+        "plain_bytes": plain_report["total_bytes"],
+        "compressed_bytes": comp_report["total_bytes"],
+        "compressed_components": comp_report["components"],
+        "ratio": ratio,
+        "mismatches": mismatches,
+        "plain_batch_s": plain_s,
+        "compressed_batch_s": comp_s,
+        "latency_ratio": comp_s / plain_s,
+        "sketch": {},
+    }
+
+    # Sketch Pareto sweep: bytes vs measured error bound vs hit rate.
+    exact_by_query = {
+        id(q): r for q, r in zip(queries, plain_results)
+    }
+    for bins in SKETCH_BINS:
+        sketch = EdgeCountSketch.from_columns(observed, bins=bins)
+        engine = QueryEngine(
+            network, compressed, planner="auto", sketch=sketch
+        )
+        bounds = []
+        contained = hits = answered = 0
+        for query in queries:
+            loose = RangeQuery(
+                query.box, query.t1, query.t2, kind=query.kind,
+                bound=query.bound, max_error=float("inf"),
+            )
+            result = engine.execute(loose)
+            exact = exact_by_query[id(query)]
+            if result.missed:
+                continue
+            answered += 1
+            bound = result.degradation.error_bound
+            bounds.append(bound)
+            if abs(result.value - exact.value) <= bound:
+                contained += 1
+            if bound <= SKETCH_TOLERANCE:
+                hits += 1
+        entry["sketch"][str(bins)] = {
+            "bytes": sketch.storage_report()["total_bytes"],
+            "mean_bound": float(np.mean(bounds)) if bounds else 0.0,
+            "max_bound": float(np.max(bounds)) if bounds else 0.0,
+            "containment": contained / answered if answered else 1.0,
+            "hit_rate_at_tolerance": hits / answered if answered else 0.0,
+            "tolerance": SKETCH_TOLERANCE,
+        }
+    return entry
+
+
+def format_entry(entry: dict) -> str:
+    lines = [
+        f"scale={entry['scale']}  blocks={entry['blocks']}  "
+        f"trips={entry['n_trips']}  events={entry['events']}  "
+        f"tick_bits={entry['tick_bits']}",
+        f"plain       {entry['plain_bytes']:>12,} bytes  "
+        f"battery {entry['plain_batch_s'] * 1e3:>8.2f}ms",
+        f"compressed  {entry['compressed_bytes']:>12,} bytes  "
+        f"battery {entry['compressed_batch_s'] * 1e3:>8.2f}ms",
+        f"reduction {entry['ratio']:.2f}x   warm latency "
+        f"{entry['latency_ratio']:.2f}x   mismatches "
+        f"{entry['mismatches']}/{entry['n_queries']}",
+        f"{'sketch bins':<12} {'bytes':>10} {'mean bound':>11} "
+        f"{'max bound':>10} {'contained':>10} "
+        f"{'hit@' + format(entry['sketch'][next(iter(entry['sketch']))]['tolerance'], 'g'):>8}",
+    ]
+    for bins, cell in entry["sketch"].items():
+        lines.append(
+            f"{bins:<12} {cell['bytes']:>10,} {cell['mean_bound']:>11.1f} "
+            f"{cell['max_bound']:>10.1f} {cell['containment']:>10.1%} "
+            f"{cell['hit_rate_at_tolerance']:>8.1%}"
+        )
+    return "\n".join(lines)
+
+
+def load_baseline() -> dict:
+    if BASELINE_PATH.exists():
+        return json.loads(BASELINE_PATH.read_text())
+    return {"schema": 1, "entries": {}}
+
+
+def check_gate(entry: dict) -> int:
+    """CI gate: reduction floor + exactness + warm latency ceiling."""
+    status = 0
+    verdict = "ok" if entry["ratio"] >= RATIO_FLOOR else "REGRESSION"
+    print(
+        f"reduction: {entry['ratio']:.2f}x "
+        f"(floor {RATIO_FLOOR:.1f}x) {verdict}"
+    )
+    if entry["ratio"] < RATIO_FLOOR:
+        status = 1
+    verdict = "ok" if entry["mismatches"] == 0 else "REGRESSION"
+    print(
+        f"exactness: {entry['mismatches']} mismatching queries of "
+        f"{entry['n_queries']} {verdict}"
+    )
+    if entry["mismatches"]:
+        status = 1
+    verdict = (
+        "ok" if entry["latency_ratio"] <= LATENCY_CEILING else "REGRESSION"
+    )
+    print(
+        f"warm latency: {entry['latency_ratio']:.2f}x plain "
+        f"(ceiling {LATENCY_CEILING:.1f}x) {verdict}"
+    )
+    if entry["latency_ratio"] > LATENCY_CEILING:
+        status = 1
+    worst = min(
+        cell["containment"] for cell in entry["sketch"].values()
+    )
+    verdict = "ok" if worst >= 0.95 else "REGRESSION"
+    print(f"sketch bound containment: {worst:.1%} (floor 95%) {verdict}")
+    if worst < 0.95:
+        status = 1
+    return status
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scale", choices=sorted(SCALES), default="default",
+        help="pipeline scale to measure (default: default)",
+    )
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI gate: fail below the 4x reduction floor, on any "
+        "plain/compressed query divergence, or above the 1.3x warm "
+        "latency ceiling",
+    )
+    parser.add_argument(
+        "--write", action="store_true",
+        help="update the measured scale's entry in BENCH_storage.json",
+    )
+    parser.add_argument("--repeats", type=int, default=9)
+    args = parser.parse_args(argv)
+
+    scale = GATE_SCALE if args.smoke else args.scale
+    entry = measure(scale, args.repeats)
+    print(format_entry(entry))
+
+    status = 0
+    if args.smoke:
+        status = check_gate(entry)
+    if args.write:
+        baseline = load_baseline()
+        baseline["entries"][scale] = entry
+        BASELINE_PATH.write_text(json.dumps(baseline, indent=2) + "\n")
+        print(f"wrote {BASELINE_PATH}")
+    return status
+
+
+def test_storage_compression(benchmark):
+    """pytest-benchmark entry: compressed battery at smoke scale."""
+    network, observed, plain, compressed, queries = build_scene(
+        SCALES["smoke"]
+    )
+    ratio = (
+        plain.storage_report()["total_bytes"]
+        / max(compressed.storage_report()["total_bytes"], 1)
+    )
+    assert ratio > 1.0
+    engine = QueryEngine(network, compressed, planner="compiled")
+    engine.execute_batch(queries)  # warm
+    benchmark(engine.execute_batch, queries)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -84,7 +84,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                         shards=args.shards, seed=args.seed,
                         slow_query_s=args.slow_ms / 1e3,
                         streaming=args.stream,
-                        compact_every=args.compact_every)
+                        compact_every=args.compact_every,
+                        compress=args.compress,
+                        tick_bits=args.tick_bits,
+                        sketch_bins=args.sketch_bins)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -159,7 +162,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                            domain.bounds.width * 0.45,
                            domain.bounds.height * 0.45)
     t2 = 18 * 3600.0
-    approx = framework.query(box, 0.0, t2, faults=injector)
+    approx = framework.query(box, 0.0, t2, faults=injector,
+                             max_error=args.max_error)
     exact = framework.query_exact(box, 0.0, t2)
     if approx.missed:
         log.info("query: lower bound missed (increase --fraction)")
@@ -172,17 +176,37 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                  f"{exact.nodes_accessed} flooded")
         if approx.degradation is not None:
             d = approx.degradation
-            log.info(f"degraded: {len(d.skipped_sensors)} sensors skipped, "
-                     f"{d.lost_walls}/{d.boundary_walls} walls lost "
-                     f"(error bound ±{d.error_bound:.0f}, "
-                     f"{d.detours} detours, {d.server_stitches} stitches)")
+            if d.strategy == "sketch":
+                log.info(f"sketch: served from the count summary, "
+                         f"0 sensors contacted (error bound "
+                         f"±{d.error_bound:.0f} <= --max-error "
+                         f"{args.max_error:g})")
+            else:
+                log.info(f"degraded: {len(d.skipped_sensors)} sensors "
+                         f"skipped, "
+                         f"{d.lost_walls}/{d.boundary_walls} walls lost "
+                         f"(error bound ±{d.error_bound:.0f}, "
+                         f"{d.detours} detours, "
+                         f"{d.server_stitches} stitches)")
         if approx.provenance is not None:
             log.debug("query provenance %s", kv(
                 junctions=approx.provenance.junction_count,
                 regions=len(approx.provenance.region_ids),
                 boundary=approx.provenance.boundary_length,
             ))
-    log.info(f"storage: {framework.storage_bytes} bytes ({args.store})")
+    log.info(f"storage: {framework.storage_bytes} bytes ({args.store}"
+             f"{', compressed' if args.compress else ''})")
+    if args.storage:
+        report = framework.storage_report()
+        for store_report in report["stores"]:
+            log.info(f"  {store_report['store']}: "
+                     f"{store_report['total_bytes']} bytes over "
+                     f"{store_report['events']} events")
+            for name, nbytes in sorted(
+                store_report["components"].items()
+            ):
+                log.info(f"    {name:<16} {nbytes:>10} bytes")
+        log.info(f"  total: {report['total_bytes']} bytes")
 
     if obs is not None:
         if args.trace:
@@ -243,7 +267,9 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
         FrameworkConfig(selector=args.selector, budget=budget,
                         store=args.store, planner=args.planner,
                         shards=args.shards, seed=args.seed,
-                        slow_query_s=args.slow_ms / 1e3)
+                        slow_query_s=args.slow_ms / 1e3,
+                        compress=args.compress,
+                        tick_bits=args.tick_bits)
     )
     workload = generate_workload(
         domain,
@@ -358,6 +384,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             health=health,
             explain_text=explain.format(),
             flight=flight,
+            storage=framework.storage_report(),
         )
         with open(args.html, "w") as handle:
             handle.write(page)
@@ -518,6 +545,24 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--compact-every", type=int, default=1024,
                       help="streaming tail size that triggers a "
                            "compaction (with --stream)")
+    demo.add_argument("--compress", action="store_true",
+                      help="succinct storage tier: delta-encoded, "
+                           "bit-packed timestamp columns (~4x smaller, "
+                           "byte-identical answers)")
+    demo.add_argument("--tick-bits", type=int, default=10,
+                      help="timestamp quantization for --compress: "
+                           "2**tick_bits ticks per second (0-20)")
+    demo.add_argument("--sketch-bins", type=int, default=0,
+                      help="build an error-bounded per-edge count "
+                           "sketch with this many time bins (0 "
+                           "disables the sketch tier)")
+    demo.add_argument("--max-error", type=float, default=None,
+                      help="absolute count-error tolerance: serve the "
+                           "demo query from the sketch when its bound "
+                           "fits (needs --sketch-bins)")
+    demo.add_argument("--storage", action="store_true",
+                      help="print the per-component storage breakdown "
+                           "of the deployed store(s)")
     demo.set_defaults(handler=_cmd_demo)
 
     monitor = commands.add_parser(
@@ -566,6 +611,13 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--slow-ms", type=float, default=100.0,
                          help="flight-recorder slow-query promotion "
                               "threshold in milliseconds")
+    monitor.add_argument("--compress", action="store_true",
+                         help="succinct storage tier (compressed "
+                              "timestamp columns); the dashboard gains "
+                              "a storage panel")
+    monitor.add_argument("--tick-bits", type=int, default=10,
+                         help="timestamp quantization for --compress: "
+                              "2**tick_bits ticks per second (0-20)")
     monitor.add_argument("--smoke", action="store_true",
                          help="assert the telemetry invariants (crashed "
                               "sensors identified, SLO burn under "

@@ -44,6 +44,17 @@ class FrameworkConfig:
     incrementally instead of rebuilding, and ``compact_every`` sets
     the tail size that triggers a compaction.  Streaming requires the
     exact store — learned models refit from scratch.
+
+    ``compress`` switches the exact store to the succinct tier
+    (:class:`~repro.forms.CompressedTrackingForm`): timestamps are
+    quantized once at ingest to ``2**tick_bits`` ticks per second and
+    stored delta-encoded + bit-packed (~4× smaller), with sharded
+    workers attaching the compressed shared-memory form directly.
+    Query results are byte-identical to the uncompressed store built
+    from the same quantized events.  ``sketch_bins`` > 0 additionally
+    builds an error-bounded :class:`~repro.forms.EdgeCountSketch` with
+    that many time bins; queries carrying ``max_error`` are then
+    served from the sketch whenever its worst-case bound fits.
     """
 
     selector: str = "quadtree"
@@ -58,6 +69,9 @@ class FrameworkConfig:
     slow_query_s: float = 0.1
     streaming: bool = False
     compact_every: int = 4096
+    compress: bool = False
+    tick_bits: int = 0
+    sketch_bins: int = 0
 
     _SELECTORS = (
         "uniform",
@@ -116,6 +130,29 @@ class FrameworkConfig:
             raise ConfigurationError(
                 "streaming ingestion requires store='exact' (learned "
                 "models refit from scratch, they cannot be appended to)"
+            )
+        if self.compress and self.store != "exact":
+            raise ConfigurationError(
+                "compress=True requires store='exact' (learned models "
+                "store parameters, not timestamp columns)"
+            )
+        if not 0 <= self.tick_bits <= 20:
+            raise ConfigurationError(
+                "tick_bits must be in [0, 20] (2**tick_bits ticks "
+                "per second)"
+            )
+        if self.sketch_bins < 0:
+            raise ConfigurationError("sketch_bins must be >= 0")
+        if self.sketch_bins and self.store != "exact":
+            raise ConfigurationError(
+                "sketch_bins requires store='exact' (the sketch bound "
+                "is relative to the exact count)"
+            )
+        if self.sketch_bins and self.streaming:
+            raise ConfigurationError(
+                "sketch_bins is incompatible with streaming=True (the "
+                "sketch is built at ingest and would go stale under "
+                "incremental appends)"
             )
 
     @property

@@ -104,6 +104,7 @@ class InNetworkFramework:
         self._columns: Optional[EventColumns] = None
         self._sharded: Optional[ShardedQueryEngine] = None
         self._streaming: Optional[StreamingEventStore] = None
+        self._sketch = None
         self._closed = False
         #: Dirty flags of the streaming path: appends leave the full
         #: reference form and the columnar snapshot stale; both are
@@ -239,6 +240,7 @@ class InNetworkFramework:
             self._form = None
             self._store = None
             self._streaming = None
+            self._sketch = None
             self._drop_sharded()
             if self._events or config.streaming:
                 self._rebuild_stores()
@@ -298,11 +300,28 @@ class InNetworkFramework:
                 "framework is closed; create a new InNetworkFramework"
             )
 
+    def _columnarize(self) -> EventColumns:
+        """Columnarise the cumulative event list, applying the
+        succinct tier's ingest-boundary quantization when deployed
+        with ``compress=True``.
+
+        Quantizing *here* — once, before any store is built — is what
+        makes compressed and uncompressed paths byte-identical: the
+        sampled form, the full reference form, the sharded partitions
+        and ``query_exact`` all see the same (quantized) multiset.
+        """
+        with self.obs.tracer.span(
+            "ingest.columnarize", events=len(self._events)
+        ):
+            columns = EventColumns.from_events(self.domain, self._events)
+        if self.config is not None and self.config.compress:
+            columns = columns.quantized(self.config.tick_bits)
+        return columns
+
     def _rebuild_stores(self) -> None:
         tracer = self.obs.tracer
         self._drop_sharded()
-        with tracer.span("ingest.columnarize", events=len(self._events)):
-            columns = EventColumns.from_events(self.domain, self._events)
+        columns = self._columnarize()
         self._columns = columns
         self._columns_dirty = False
         with tracer.span("ingest.build_form", network="full"):
@@ -310,13 +329,29 @@ class InNetworkFramework:
         self._full_dirty = False
         if self.network is None:
             return
-        if self.config is not None and self.config.streaming:
+        config = self.config
+        self._sketch = None
+        if config is not None and config.sketch_bins:
+            with tracer.span(
+                "ingest.build_sketch", bins=config.sketch_bins
+            ):
+                from ..forms import EdgeCountSketch
+
+                observed = columns.filter_edges(
+                    self.network._wall_lookup()
+                )
+                self._sketch = EdgeCountSketch.from_columns(
+                    observed, bins=config.sketch_bins
+                )
+        if config is not None and config.streaming:
             with tracer.span(
                 "ingest.build_stream", events=len(self._events)
             ):
                 store = StreamingEventStore(
                     self.network,
-                    compact_every=self.config.compact_every,
+                    compact_every=config.compact_every,
+                    compress=config.compress,
+                    tick_bits=config.tick_bits,
                 )
                 if self._events:
                     store.append_events(self._events)
@@ -326,10 +361,14 @@ class InNetworkFramework:
             return
         self._streaming = None
         with tracer.span("ingest.build_form", network=self.network.name):
-            self._form = self.network.build_form(columns)
-        if self.config is not None and self.config.store != "exact":
-            factory = _MODEL_FACTORIES[self.config.store]
-            with tracer.span("ingest.fit_models", store=self.config.store):
+            self._form = self.network.build_form(
+                columns,
+                compress=config.compress if config is not None else False,
+                tick_bits=config.tick_bits if config is not None else 0,
+            )
+        if config is not None and config.store != "exact":
+            factory = _MODEL_FACTORIES[config.store]
+            with tracer.span("ingest.fit_models", store=config.store):
                 self._store = ModeledCountStore.fit(self._form, factory)
         else:
             self._store = self._form
@@ -337,13 +376,11 @@ class InNetworkFramework:
     def _refresh_columns(self) -> None:
         """Re-columnarise the cumulative event list after streaming
         appends left the snapshot stale (sharded rebuilds and
-        ``query_exact`` need it; streamed queries do not)."""
-        with self.obs.tracer.span(
-            "ingest.columnarize", events=len(self._events)
-        ):
-            self._columns = EventColumns.from_events(
-                self.domain, self._events
-            )
+        ``query_exact`` need it; streamed queries do not).  Applies
+        the same quantization as :meth:`_rebuild_stores`, or the
+        compressed sharded/exact paths would diverge from streamed
+        answers."""
+        self._columns = self._columnarize()
         self._columns_dirty = False
 
     # ------------------------------------------------------------------
@@ -398,6 +435,8 @@ class InNetworkFramework:
                     store=self._store,
                     seed=config.seed,
                     flight=self.flight,
+                    compress=config.compress,
+                    tick_bits=config.tick_bits,
                 )
             return self._sharded
         planner = config.planner if config is not None else "auto"
@@ -410,6 +449,7 @@ class InNetworkFramework:
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
             flight=self.flight,
+            sketch=self._sketch,
         )
 
     def close(self) -> None:
@@ -441,6 +481,7 @@ class InNetworkFramework:
         faults: Optional[FaultInjector] = None,
         dispatch_strategy: str = "perimeter_walk",
         retry_policy: Optional[RetryPolicy] = None,
+        max_error: Optional[float] = None,
     ) -> QueryResult:
         """Answer a range count query on the deployed sampled network.
 
@@ -448,13 +489,23 @@ class InNetworkFramework:
         fault-tolerantly: the result may be a partial aggregate flagged
         ``approximate`` carrying a :class:`~repro.query.QueryDegradation`
         error bound.
+
+        ``max_error`` is the absolute count-error tolerance for the
+        sketch fast tier (deployments with ``sketch_bins`` > 0): when
+        the sketch's worst-case bound fits, the answer is served from
+        the summary without contacting any sensor and carries the
+        bound in ``result.degradation`` (``strategy="sketch"``).
         """
         engine = self.engine(
             faults=faults,
             dispatch_strategy=dispatch_strategy,
             retry_policy=retry_policy,
         )
-        return engine.execute(RangeQuery(box, t1, t2, kind=kind, bound=bound))
+        return engine.execute(
+            RangeQuery(
+                box, t1, t2, kind=kind, bound=bound, max_error=max_error
+            )
+        )
 
     def explain(
         self,
@@ -553,14 +604,47 @@ class InNetworkFramework:
 
     @property
     def storage_bytes(self) -> int:
-        """Storage of the deployed count representation."""
+        """Storage of the deployed count representation.
+
+        Exact stores report the nominal 8 bytes per stored timestamp
+        (the paper's storage accounting); compressed deployments
+        report the actual compressed footprint from
+        :meth:`storage_report`.
+        """
         if isinstance(self._store, ModeledCountStore):
             return self._store.storage_bytes
+        if self.config is not None and self.config.compress:
+            store = self._streaming if self._streaming is not None else self._form
+            if store is not None:
+                return int(store.storage_report()["total_bytes"])
         if self._streaming is not None:
             return self._streaming.total_events * 8
         if self._form is not None:
             return self._form.total_events * 8
         return 0
+
+    def storage_report(self) -> dict:
+        """Unified bytes-per-component accounting of every live tier.
+
+        Returns ``{"stores": [report, ...], "total_bytes": int}``
+        where each report follows the common store schema
+        (``{"store", "events", "total_bytes", "components"}``) — the
+        deployed count store plus, when present, the sketch tier.
+        Surfaced by ``repro demo --storage`` and the dashboard storage
+        panel.
+        """
+        reports = []
+        store = self._store
+        if store is not None and hasattr(store, "storage_report"):
+            reports.append(store.storage_report())
+        if self._sketch is not None:
+            reports.append(self._sketch.storage_report())
+        return {
+            "stores": reports,
+            "total_bytes": int(
+                sum(r["total_bytes"] for r in reports)
+            ),
+        }
 
     @property
     def deployed_fraction(self) -> float:

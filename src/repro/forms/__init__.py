@@ -16,13 +16,17 @@ from .calculus import (
 from .compiled import CompiledTrackingForm
 from .countfn import DirectedEdge, EdgeCountStore, static_count, transient_count
 from .privacy import LaplaceNoisyStore
+from .sketch import EdgeCountSketch
 from .snapshot import DifferentialForm, SnapshotForm
+from .succinct import CompressedTrackingForm, quantize_times
 from .tracking import TrackingForm
 
 __all__ = [
     "CompiledTrackingForm",
+    "CompressedTrackingForm",
     "DifferentialForm",
     "DirectedEdge",
+    "EdgeCountSketch",
     "EdgeCountStore",
     "LaplaceNoisyStore",
     "SnapshotForm",
@@ -32,6 +36,7 @@ __all__ = [
     "face_divergence",
     "integrate_potential",
     "is_exact",
+    "quantize_times",
     "static_count",
     "transient_count",
 ]

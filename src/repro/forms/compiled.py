@@ -183,7 +183,7 @@ class CompiledTrackingForm:
                 )
             )
             dir_parts.append(np.full(n, d, dtype=np.int8))
-            t_parts.append(self._values[d])
+            t_parts.append(self._direction_values(d))
         columns = EventColumns(
             interner=interner if interner is not None else self._interner,
             edge_id=np.concatenate(ids_parts),
@@ -320,15 +320,50 @@ class CompiledTrackingForm:
     # ------------------------------------------------------------------
     # Per-edge count function C(γ(e), t) (§4.7.3)
     # ------------------------------------------------------------------
+    def _segment_ids(self, eid: int, d: int) -> np.ndarray:
+        """Sorted timestamp segment of one (edge id, direction).
+
+        The single raw-storage access point of the per-edge read path:
+        subclasses with a different physical layout (the succinct tier,
+        :class:`~repro.forms.succinct.CompressedTrackingForm`) override
+        this and :meth:`_direction_slices` instead of every caller.
+        """
+        lo = self._offsets[d][eid]
+        hi = self._offsets[d][eid + 1]
+        return self._values[d][lo:hi]
+
+    def _direction_values(self, d: int) -> np.ndarray:
+        """The full contiguous timestamp column of one direction."""
+        return self._values[d]
+
+    def _direction_slices(
+        self, wall_ids: np.ndarray, d: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Gather many edges' segments of one direction at once.
+
+        Returns ``(values, lens)`` — the concatenation of each wall's
+        sorted timestamp segment (in ``wall_ids`` order) and the
+        per-wall segment lengths.  This is the bulk-storage access
+        point of boundary compilation; the succinct tier overrides it
+        to decode straight out of compressed blocks.
+        """
+        offsets = self._offsets[d]
+        starts = offsets[wall_ids]
+        lens = (offsets[wall_ids + 1] - starts).astype(np.int64)
+        total = int(lens.sum())
+        if total == 0:
+            return _EMPTY, lens
+        shift = np.concatenate(([0], np.cumsum(lens)[:-1]))
+        take = np.repeat(starts - shift, lens) + np.arange(total)
+        return self._values[d][take], lens
+
     def _segment(self, edge: DirectedEdge, entering: bool) -> np.ndarray:
         key, forward = _canonical(edge)
         eid = self._interner.id_of_canonical(key)
         if eid < 0 or eid >= self._n_ids:
             return _EMPTY
         d = 0 if (forward == entering) else 1
-        lo = self._offsets[d][eid]
-        hi = self._offsets[d][eid + 1]
-        return self._values[d][lo:hi]
+        return self._segment_ids(int(eid), d)
 
     def count_entering(self, edge: DirectedEdge, t: float) -> int:
         """``C(γ⁺(e), t)``: crossings in the direction of ``edge`` to t."""
@@ -434,20 +469,18 @@ class CompiledTrackingForm:
 
         ``wall_ids`` are interned canonical-edge ids, ``signs`` is +1
         where the chain traverses the canonical orientation and -1
-        against it.  The cache key is the raw bytes of both arrays —
-        no per-edge tuple hashing — so repeated integrations of the
-        same chain cost two ``tobytes`` calls and one dict hit.
+        against it.  Both are canonicalised to a fixed width (int32
+        ids, int8 signs) before hashing, so the byte digest — and
+        every downstream consumer of it (boundary LRU, flight digests,
+        streaming chain decode) — is identical regardless of the width
+        the caller's platform promoted to.  The cache key is then the
+        raw bytes of both arrays — no per-edge tuple hashing — so
+        repeated integrations of the same chain cost two ``tobytes``
+        calls and one dict hit.
         """
-        wall_ids = np.ascontiguousarray(wall_ids)
-        chain_signs = np.ascontiguousarray(signs)
-        # The itemsizes disambiguate byte-identical arrays of different
-        # widths (e.g. int64 [1] vs int32 [1, 0]).
-        key = (
-            wall_ids.tobytes(),
-            chain_signs.tobytes(),
-            wall_ids.dtype.itemsize,
-            chain_signs.dtype.itemsize,
-        )
+        wall_ids = np.ascontiguousarray(wall_ids, dtype=np.int32)
+        chain_signs = np.ascontiguousarray(signs, dtype=np.int8)
+        key = (wall_ids.tobytes(), chain_signs.tobytes())
         compiled = self._cache_get(key)
         if compiled is not None:
             return compiled
@@ -461,15 +494,10 @@ class CompiledTrackingForm:
         parts: List[np.ndarray] = []
         weights: List[np.ndarray] = []
         for d, polarity in ((0, 1), (1, -1)):
-            offsets = self._offsets[d]
-            starts = offsets[wall_ids]
-            lens = offsets[wall_ids + 1] - starts
-            total = int(lens.sum())
-            if total == 0:
+            vals, lens = self._direction_slices(wall_ids, d)
+            if not len(vals):
                 continue
-            shift = np.concatenate(([0], np.cumsum(lens)[:-1]))
-            take = np.repeat(starts - shift, lens) + np.arange(total)
-            parts.append(self._values[d][take])
+            parts.append(vals)
             weights.append(np.repeat(polarity * chain_signs, lens))
         compiled = self._merge_series(parts, weights)
         self._cache_put(key, compiled)
@@ -542,7 +570,9 @@ class CompiledTrackingForm:
 
     @property
     def total_events(self) -> int:
-        return len(self._values[0]) + len(self._values[1])
+        # Offsets-based so subclasses without materialised values
+        # (the succinct tier) inherit it unchanged.
+        return int(self._offsets[0][-1] + self._offsets[1][-1])
 
     @property
     def edge_count(self) -> int:
@@ -552,6 +582,32 @@ class CompiledTrackingForm:
         """Per-edge stored timestamp counts (the Fig. 11e CDF input)."""
         counts = self._per_edge_counts()
         return sorted(int(c) for c in counts[counts > 0])
+
+    def _storage_components(self) -> dict:
+        return {
+            "values": int(
+                self._values[0].nbytes + self._values[1].nbytes
+            ),
+            "offsets": int(
+                self._offsets[0].nbytes + self._offsets[1].nbytes
+            ),
+        }
+
+    def storage_report(self) -> dict:
+        """Bytes-per-component accounting in the unified store schema.
+
+        Every store exposes the same shape — ``{"store", "events",
+        "total_bytes", "components": {name: bytes}}`` — so the CLI
+        ``--storage`` flag and the dashboard storage panel render any
+        deployment without per-class cases.
+        """
+        components = self._storage_components()
+        return {
+            "store": type(self).__name__,
+            "events": int(self.total_events),
+            "total_bytes": int(sum(components.values())),
+            "components": components,
+        }
 
     def __repr__(self) -> str:
         return (

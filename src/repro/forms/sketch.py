@@ -1,0 +1,218 @@
+"""Error-bounded per-edge count sketches (the approximate fast tier).
+
+:class:`EdgeCountSketch` summarises an event stream as, per directed
+canonical edge, the **net** crossing count accumulated through each
+touched time bin plus the bin's total activity.  A boundary-chain
+range count is then answered from bin boundaries alone — no timestamp
+decode, no chain compilation — with a rigorous error bound: the only
+uncertainty is the order of events inside the partial bin containing
+the query time, and each of those events moves the net count by at
+most one, so
+
+    |exact - estimate| <= activity(partial bin)          (static)
+    |exact - estimate| <= activity(t1 bin) + activity(t2 bin)
+                                                         (transient)
+
+The bound *always* contains the exact answer (it is a worst-case
+count, not a probabilistic tail), which is what lets the query engine
+serve a sketch answer whenever the caller's ``max_error`` tolerance
+admits it and silently fall back to the exact compiled path when not.
+Sketch answers ride the existing :class:`~repro.query.QueryDegradation`
+machinery with ``strategy="sketch"`` so observability (degradation
+metrics, flight records) needs no new plumbing.
+
+Storage is a CSR over *touched* ``(edge, bin)`` pairs only — about
+ten bytes per pair — so coarse bins make the sketch hundreds of times
+smaller than even the compressed exact tier.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..trajectories import EventColumns
+
+#: Default number of time bins across the observed span when a caller
+#: asks for a sketch without sizing it.
+DEFAULT_SKETCH_BINS = 64
+
+
+class EdgeCountSketch:
+    """Per-edge binned net-count summary with worst-case error bounds."""
+
+    def __init__(
+        self,
+        edge_offsets: np.ndarray,
+        bins: np.ndarray,
+        cum_net: np.ndarray,
+        activity: np.ndarray,
+        bin_width: float,
+        n_ids: int,
+    ) -> None:
+        self._edge_offsets = edge_offsets  # int64, n_ids + 1
+        self._bins = bins                  # int64 bin index, asc per edge
+        self._cum_net = cum_net            # int32 net count through bin
+        self._activity = activity          # int32 events inside bin
+        self._bin_width = float(bin_width)
+        self._n_ids = int(n_ids)
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_columns(
+        cls, columns: "EventColumns", bins: int = DEFAULT_SKETCH_BINS
+    ) -> "EdgeCountSketch":
+        """Build from observed event columns with ``bins`` time bins.
+
+        ``bins`` divides the ``[0, t_max]`` span; events are assigned
+        by ``floor(t / width)``, so the bin universe is sparse and
+        nothing is allocated for untouched ``(edge, bin)`` pairs.
+        """
+        if bins < 1:
+            raise ValueError("sketch bins must be >= 1")
+        n_ids = len(columns.interner)
+        t = np.asarray(columns.t, dtype=np.float64)
+        if len(t) == 0:
+            return cls(
+                edge_offsets=np.zeros(n_ids + 1, dtype=np.int64),
+                bins=np.empty(0, dtype=np.int64),
+                cum_net=np.empty(0, dtype=np.int32),
+                activity=np.empty(0, dtype=np.int32),
+                bin_width=1.0,
+                n_ids=n_ids,
+            )
+        t_max = float(t.max())
+        width = (t_max / bins) if t_max > 0 else 1.0
+        edge_id = np.asarray(columns.edge_id, dtype=np.int64)
+        sign = np.where(
+            np.asarray(columns.direction) == 0, 1, -1
+        ).astype(np.int64)
+        bin_of = np.floor(t / width).astype(np.int64)
+
+        # Collapse to unique (edge, bin) pairs, summing signs and
+        # counting activity per pair.
+        order = np.lexsort((bin_of, edge_id))
+        eid_s = edge_id[order]
+        bin_s = bin_of[order]
+        sign_s = sign[order]
+        new_pair = np.empty(len(eid_s), dtype=bool)
+        new_pair[0] = True
+        new_pair[1:] = (eid_s[1:] != eid_s[:-1]) | (bin_s[1:] != bin_s[:-1])
+        pair_idx = np.cumsum(new_pair) - 1
+        n_pairs = int(pair_idx[-1]) + 1
+        net = np.bincount(
+            pair_idx, weights=sign_s, minlength=n_pairs
+        ).astype(np.int64)
+        activity = np.bincount(pair_idx, minlength=n_pairs).astype(np.int32)
+        pair_eid = eid_s[new_pair]
+        pair_bin = bin_s[new_pair]
+
+        # Per-edge cumulative net through each bin: global cumsum minus
+        # the running total at each edge's first pair.
+        running = np.cumsum(net)
+        edge_counts = np.bincount(pair_eid, minlength=n_ids)
+        edge_offsets = np.concatenate(
+            ([0], np.cumsum(edge_counts))
+        ).astype(np.int64)
+        base = np.repeat(
+            running[edge_offsets[:-1][edge_counts > 0]] -
+            net[edge_offsets[:-1][edge_counts > 0]],
+            edge_counts[edge_counts > 0],
+        )
+        cum_net = (running - base).astype(np.int32)
+        return cls(
+            edge_offsets=edge_offsets,
+            bins=pair_bin,
+            cum_net=cum_net,
+            activity=activity,
+            bin_width=width,
+            n_ids=n_ids,
+        )
+
+    # ------------------------------------------------------------------
+    # Chain estimation
+    # ------------------------------------------------------------------
+    def _edge_until(self, eid: int, t: float) -> Tuple[int, int]:
+        """(estimate, bound) of one edge's net count up to ``t``."""
+        if eid < 0 or eid >= self._n_ids:
+            return 0, 0
+        lo = int(self._edge_offsets[eid])
+        hi = int(self._edge_offsets[eid + 1])
+        if lo == hi:
+            return 0, 0
+        q = int(np.floor(t / self._bin_width))
+        seg = self._bins[lo:hi]
+        idx = int(np.searchsorted(seg, q, side="left"))
+        estimate = int(self._cum_net[lo + idx - 1]) if idx > 0 else 0
+        bound = 0
+        if idx < hi - lo and int(seg[idx]) == q:
+            bound = int(self._activity[lo + idx])
+        return estimate, bound
+
+    def estimate_until_ids(
+        self, wall_ids: np.ndarray, signs: np.ndarray, t: float
+    ) -> Tuple[int, int]:
+        """Chain static count estimate: Σ sign · edge estimate.
+
+        Returns ``(estimate, bound)`` with the worst-case guarantee
+        ``|exact - estimate| <= bound``.
+        """
+        estimate = 0
+        bound = 0
+        for eid, sign in zip(wall_ids, signs):
+            e, b = self._edge_until(int(eid), t)
+            estimate += int(sign) * e
+            bound += b
+        return estimate, bound
+
+    def estimate_between_ids(
+        self, wall_ids: np.ndarray, signs: np.ndarray, t1: float, t2: float
+    ) -> Tuple[int, int]:
+        """Chain transient count estimate over ``(t1, t2]``."""
+        e1, b1 = self.estimate_until_ids(wall_ids, signs, t1)
+        e2, b2 = self.estimate_until_ids(wall_ids, signs, t2)
+        return e2 - e1, b1 + b2
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def bin_width(self) -> float:
+        """Seconds per time bin."""
+        return self._bin_width
+
+    @property
+    def pair_count(self) -> int:
+        """Touched ``(edge, bin)`` pairs stored."""
+        return len(self._bins)
+
+    @property
+    def activity(self) -> np.ndarray:
+        """Events per touched ``(edge, bin)`` pair — each entry is the
+        worst-case error bound a query cut inside that bin reports."""
+        return self._activity
+
+    def storage_report(self) -> dict:
+        """Unified bytes-per-component schema (see compiled form)."""
+        components = {
+            "edge_offsets": int(self._edge_offsets.nbytes),
+            "bins": int(self._bins.nbytes),
+            "cum_net": int(self._cum_net.nbytes),
+            "activity": int(self._activity.nbytes),
+        }
+        return {
+            "store": type(self).__name__,
+            "events": int(self._activity.sum()) if len(self._activity) else 0,
+            "total_bytes": int(sum(components.values())),
+            "components": components,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeCountSketch(pairs={self.pair_count}, "
+            f"bin_width={self._bin_width:.3g})"
+        )

@@ -1,0 +1,433 @@
+"""Succinct (delta + bit-packed) tracking forms — the compressed tier.
+
+:class:`CompressedTrackingForm` stores the same per-edge crossing
+timestamp multisets as :class:`~repro.forms.compiled.CompiledTrackingForm`
+but roughly 4× smaller: per (edge, direction) segment the first
+timestamp's **tick** (a dyadic fixed-point integer, see
+:func:`quantize_times`) is kept as a 64-bit frame-of-reference head and
+the remaining values as consecutive non-negative deltas, chunked into
+blocks of :data:`DEFAULT_BLOCK` deltas, each block bit-packed at the
+width of its largest delta.  A block of identical timestamps packs to
+**zero** payload bits (width 0), so heavy-duplicate edges are nearly
+free.
+
+Reads decode lazily per CSR slice: :meth:`CompressedTrackingForm.
+_segment_ids` inflates exactly one edge's segment (kept in a small
+LRU), and boundary compilation concatenates per-wall decodes — there
+is never a full-column materialisation on the query path.  Everything
+above the two storage hooks (searchsorted counting, merged prefix-sum
+chains, the boundary LRU, metrics) is inherited from the compiled
+form unchanged, which is what makes compressed answers byte-identical
+to uncompressed ones built from the same quantized columns.
+
+Exactness contract: timestamps must be quantized **once at the ingest
+boundary** (``EventColumns.quantized`` / ``quantize_times``).  A
+quantized value is ``k * 2**-tick_bits`` with integer ``k`` — exactly
+representable in float64 — so ``decode(encode(t)) == t`` bit-for-bit
+and the compressed form is a lossless store of the quantized multiset.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import TYPE_CHECKING, List, Tuple
+
+import numpy as np
+
+from .compiled import (
+    DEFAULT_BOUNDARY_CACHE_SIZE,
+    CompiledTrackingForm,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..planar import EdgeInterner
+
+#: Default timestamp resolution: ``2**tick_bits`` ticks per second.
+#: 0 — whole seconds — is where trajectory workloads sit (sub-second
+#: crossing precision is below GPS noise) and clears the 4× floor.
+DEFAULT_TICK_BITS = 0
+
+#: Deltas per bit-packed block.  32 measured best at DEFAULT scale:
+#: small enough that one large gap only inflates 32 deltas' width,
+#: large enough that the per-block width byte stays amortised.
+DEFAULT_BLOCK = 32
+
+#: Decoded-segment LRU cap (segments, not bytes).  Sized for the
+#: working set of a figure battery's distinct boundary walls.
+DEFAULT_DECODE_CACHE_SIZE = 2048
+
+_EMPTY = np.empty(0, dtype=np.float64)
+_EMPTY_U8 = np.empty(0, dtype=np.uint8)
+
+
+def quantize_times(t: np.ndarray, tick_bits: int = DEFAULT_TICK_BITS):
+    """Snap timestamps to the dyadic grid ``k * 2**-tick_bits``.
+
+    Monotone (preserves sort order) and idempotent; the result is a
+    float64 array every value of which round-trips exactly through the
+    integer tick encoding.
+    """
+    scale = float(2.0 ** tick_bits)
+    return np.round(np.asarray(t, dtype=np.float64) * scale) / scale
+
+
+def _pack_deltas(deltas: np.ndarray, width: int) -> np.ndarray:
+    """Bit-pack non-negative int64 deltas at ``width`` bits, MSB first."""
+    if width == 0:
+        return _EMPTY_U8
+    shifts = np.arange(width - 1, -1, -1, dtype=np.int64)
+    bits = ((deltas[:, None] >> shifts) & 1).astype(np.uint8)
+    return np.packbits(bits.ravel())
+
+
+def _unpack_deltas(buf: np.ndarray, n: int, width: int) -> np.ndarray:
+    """Inverse of :func:`_pack_deltas` for ``n`` deltas."""
+    if width == 0:
+        return np.zeros(n, dtype=np.int64)
+    bits = np.unpackbits(buf, count=n * width).reshape(n, width)
+    weights = np.left_shift(
+        np.int64(1), np.arange(width - 1, -1, -1, dtype=np.int64)
+    )
+    return bits @ weights
+
+
+class _DirectionBlocks:
+    """One direction's compressed column (heads/widths/payload)."""
+
+    __slots__ = ("heads", "widths", "payload")
+
+    def __init__(self, heads, widths, payload) -> None:
+        self.heads = heads    # int64, one per nonempty segment
+        self.widths = widths  # uint8, one per block
+        self.payload = payload  # uint8 packed delta bits
+
+    @property
+    def nbytes(self) -> int:
+        return int(
+            self.heads.nbytes + self.widths.nbytes + self.payload.nbytes
+        )
+
+
+def _encode_direction(
+    values: np.ndarray, offsets: np.ndarray, tick_bits: int, block: int
+) -> _DirectionBlocks:
+    """Compress one direction's CSR column into delta blocks."""
+    scale = float(2.0 ** tick_bits)
+    ticks = np.rint(np.asarray(values, dtype=np.float64) * scale).astype(
+        np.int64
+    )
+    counts = np.diff(offsets)
+    nonempty = np.flatnonzero(counts)
+    heads = np.empty(len(nonempty), dtype=np.int64)
+    widths: List[int] = []
+    chunks: List[np.ndarray] = []
+    for rank, eid in enumerate(nonempty):
+        lo = int(offsets[eid])
+        hi = int(offsets[eid + 1])
+        heads[rank] = ticks[lo]
+        deltas = np.diff(ticks[lo:hi])
+        for start in range(0, len(deltas), block):
+            chunk = deltas[start:start + block]
+            width = int(chunk.max()).bit_length()
+            widths.append(width)
+            if width:
+                chunks.append(_pack_deltas(chunk, width))
+    payload = np.concatenate(chunks) if chunks else _EMPTY_U8
+    return _DirectionBlocks(
+        heads=heads,
+        widths=np.asarray(widths, dtype=np.uint8),
+        payload=payload,
+    )
+
+
+def _derive_index(
+    offsets: np.ndarray, widths: np.ndarray, block: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Derived decode index: all cheap functions of offsets + widths.
+
+    Returns ``(rank, block_starts, byte_starts)`` — per-edge rank of
+    its nonempty segment (-1 if empty), per-segment index of its first
+    block in ``widths``, and per-block byte offset into the payload.
+    Recomputed at construction *and* shm attach time, so none of it is
+    stored or shipped: the compressed wire format is just offsets,
+    heads, widths and payload.
+    """
+    counts = np.diff(offsets)
+    nonempty = counts > 0
+    rank = np.cumsum(nonempty, dtype=np.int64) - 1
+    rank[~nonempty] = -1
+    # Delta stream of a segment of length L has L-1 entries.
+    n_deltas = (counts[nonempty] - 1).astype(np.int64)
+    n_blocks = -(-n_deltas // block)
+    block_starts = np.concatenate(
+        ([0], np.cumsum(n_blocks))
+    ).astype(np.int64)
+    total_blocks = int(block_starts[-1])
+    blk_len = np.full(total_blocks, block, dtype=np.int64)
+    has = n_blocks > 0
+    last = block_starts[1:][has] - 1
+    blk_len[last] = n_deltas[has] - (n_blocks[has] - 1) * block
+    nbytes = (blk_len * widths.astype(np.int64) + 7) // 8
+    byte_starts = np.concatenate(([0], np.cumsum(nbytes))).astype(np.int64)
+    return rank, block_starts, byte_starts
+
+
+class CompressedTrackingForm(CompiledTrackingForm):
+    """Delta-encoded, bit-packed drop-in for the compiled form.
+
+    The public query surface (``count_*``, ``net_*``,
+    ``integrate_*``, ``compile_boundary_ids``, shm interop) is the
+    parent's; only the two raw-storage hooks (:meth:`_segment_ids`,
+    :meth:`_direction_slices`), construction, append and shm layout
+    differ.
+    """
+
+    def __init__(
+        self,
+        interner: "EdgeInterner",
+        edge_id: np.ndarray,
+        direction: np.ndarray,
+        t: np.ndarray,
+        boundary_cache_size: int = DEFAULT_BOUNDARY_CACHE_SIZE,
+        tick_bits: int = DEFAULT_TICK_BITS,
+        block: int = DEFAULT_BLOCK,
+    ) -> None:
+        """Compile and compress columnar events.
+
+        ``t`` must already lie on the ``tick_bits`` dyadic grid
+        (callers quantize once at ingest); values are snapped here as
+        a belt-and-braces measure so a stray un-quantized call cannot
+        silently desynchronise the tick decode.
+        """
+        t = quantize_times(t, tick_bits)
+        super().__init__(
+            interner, edge_id, direction, t,
+            boundary_cache_size=boundary_cache_size,
+        )
+        self._tick_bits = int(tick_bits)
+        self._block = int(block)
+        self._compress_in_place()
+
+    # ------------------------------------------------------------------
+    # Construction / mutation
+    # ------------------------------------------------------------------
+    def _compress_in_place(self) -> None:
+        """Replace the parent's raw columns with compressed blocks."""
+        blocks: List[_DirectionBlocks] = []
+        offsets32: List[np.ndarray] = []
+        for d in (0, 1):
+            blocks.append(
+                _encode_direction(
+                    self._values[d], self._offsets[d],
+                    self._tick_bits, self._block,
+                )
+            )
+            offsets32.append(self._offsets[d].astype(np.int32))
+        self._blocks = (blocks[0], blocks[1])
+        self._offsets = (offsets32[0], offsets32[1])
+        del self._values  # the point of the exercise
+        self._init_decode_state()
+
+    def _init_decode_state(self) -> None:
+        ranks = []
+        block_starts = []
+        byte_starts = []
+        for d in (0, 1):
+            rank, starts, bstarts = _derive_index(
+                self._offsets[d], self._blocks[d].widths, self._block
+            )
+            ranks.append(rank)
+            block_starts.append(starts)
+            byte_starts.append(bstarts)
+        self._seg_rank = (ranks[0], ranks[1])
+        self._block_starts = (block_starts[0], block_starts[1])
+        self._byte_starts = (byte_starts[0], byte_starts[1])
+        #: Decoded segments, LRU keyed ``(d, eid)``.
+        self._decoded: "OrderedDict[Tuple[int, int], np.ndarray]" = (
+            OrderedDict()
+        )
+
+    def append_events(
+        self,
+        edge_id: np.ndarray,
+        direction: np.ndarray,
+        t: np.ndarray,
+    ) -> int:
+        """Merge new events: decode, lexsort-merge, re-encode.
+
+        Same contract as the parent (boundary cache cleared,
+        generation bumped); streaming compaction batches appends so
+        the full decode/re-encode cycle amortises.
+        """
+        t = quantize_times(np.asarray(t, dtype=np.float64), self._tick_bits)
+        n_new = len(t)
+        if n_new == 0:
+            return 0
+        # Rebuild the transient raw columns the parent merge expects,
+        # run it, then re-compress.
+        self._values = (
+            self._direction_values(0), self._direction_values(1)
+        )
+        self._offsets = (
+            self._offsets[0].astype(np.int64),
+            self._offsets[1].astype(np.int64),
+        )
+        merged = super().append_events(edge_id, direction, t)
+        self._compress_in_place()
+        return merged
+
+    # ------------------------------------------------------------------
+    # Storage hooks (the only read-path overrides)
+    # ------------------------------------------------------------------
+    def _decode_segment(self, eid: int, d: int) -> np.ndarray:
+        offsets = self._offsets[d]
+        length = int(offsets[eid + 1]) - int(offsets[eid])
+        if length == 0:
+            return _EMPTY
+        blocks = self._blocks[d]
+        rank = int(self._seg_rank[d][eid])
+        ticks = np.empty(length, dtype=np.int64)
+        ticks[0] = blocks.heads[rank]
+        n_deltas = length - 1
+        if n_deltas:
+            block_i = int(self._block_starts[d][rank])
+            byte_starts = self._byte_starts[d]
+            out = 1
+            for start in range(0, n_deltas, self._block):
+                n = min(self._block, n_deltas - start)
+                width = int(blocks.widths[block_i])
+                if width:
+                    pos = int(byte_starts[block_i])
+                    nbytes = (n * width + 7) // 8
+                    ticks[out:out + n] = _unpack_deltas(
+                        blocks.payload[pos:pos + nbytes], n, width
+                    )
+                else:
+                    ticks[out:out + n] = 0
+                block_i += 1
+                out += n
+            np.cumsum(ticks, out=ticks)
+        return ticks * float(2.0 ** -self._tick_bits)
+
+    def _segment_ids(self, eid: int, d: int) -> np.ndarray:
+        key = (d, eid)
+        cached = self._decoded.get(key)
+        if cached is not None:
+            self._decoded.move_to_end(key)
+            return cached
+        segment = self._decode_segment(eid, d)
+        if len(segment):
+            self._decoded[key] = segment
+            while len(self._decoded) > DEFAULT_DECODE_CACHE_SIZE:
+                self._decoded.popitem(last=False)
+        return segment
+
+    def _direction_slices(
+        self, wall_ids: np.ndarray, d: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        offsets = self._offsets[d]
+        lens = (
+            offsets[wall_ids + 1] - offsets[wall_ids]
+        ).astype(np.int64)
+        if not int(lens.sum()):
+            return _EMPTY, lens
+        parts = [
+            self._segment_ids(int(eid), d)
+            for eid in wall_ids[lens > 0]
+        ]
+        return np.concatenate(parts), lens
+
+    def _direction_values(self, d: int) -> np.ndarray:
+        counts = np.diff(self._offsets[d])
+        nonempty = np.flatnonzero(counts)
+        if not len(nonempty):
+            return _EMPTY
+        return np.concatenate(
+            [self._decode_segment(int(eid), d) for eid in nonempty]
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-memory interop
+    # ------------------------------------------------------------------
+    def shm_pack(self, hint: str = "form"):
+        """Pack the *compressed* arrays — the whole reason sharded
+        workers can attach a ~4× smaller segment zero-copy."""
+        from .. import shm as shm_mod
+
+        arrays = {}
+        for d in (0, 1):
+            arrays[f"offsets{d}"] = self._offsets[d]
+            arrays[f"heads{d}"] = self._blocks[d].heads
+            arrays[f"widths{d}"] = self._blocks[d].widths
+            arrays[f"payload{d}"] = self._blocks[d].payload
+        handle, descriptor = shm_mod.pack_arrays(arrays, hint=hint)
+        descriptor["n_ids"] = int(self._n_ids)
+        descriptor["form"] = "compressed"
+        descriptor["tick_bits"] = self._tick_bits
+        descriptor["block"] = self._block
+        return handle, descriptor
+
+    @classmethod
+    def shm_attach(
+        cls,
+        descriptor,
+        interner: "EdgeInterner",
+        boundary_cache_size: int = DEFAULT_BOUNDARY_CACHE_SIZE,
+    ) -> "CompressedTrackingForm":
+        """Zero-copy compressed form over a :meth:`shm_pack` segment."""
+        from .. import shm as shm_mod
+
+        handle, views = shm_mod.attach_arrays(descriptor)
+        form = cls.__new__(cls)
+        form._interner = interner
+        form._n_ids = int(descriptor["n_ids"])
+        form._tick_bits = int(descriptor["tick_bits"])
+        form._block = int(descriptor["block"])
+        form._offsets = (views["offsets0"], views["offsets1"])
+        form._blocks = (
+            _DirectionBlocks(
+                views["heads0"], views["widths0"], views["payload0"]
+            ),
+            _DirectionBlocks(
+                views["heads1"], views["widths1"], views["payload1"]
+            ),
+        )
+        form._init_runtime_state(boundary_cache_size)
+        form._init_decode_state()
+        form._shm_handle = handle
+        return form
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def tick_bits(self) -> int:
+        """Timestamp resolution: ``2**tick_bits`` ticks per second."""
+        return self._tick_bits
+
+    def _storage_components(self) -> dict:
+        return {
+            "offsets": int(
+                self._offsets[0].nbytes + self._offsets[1].nbytes
+            ),
+            "heads": int(
+                self._blocks[0].heads.nbytes + self._blocks[1].heads.nbytes
+            ),
+            "block_widths": int(
+                self._blocks[0].widths.nbytes
+                + self._blocks[1].widths.nbytes
+            ),
+            "payload": int(
+                self._blocks[0].payload.nbytes
+                + self._blocks[1].payload.nbytes
+            ),
+        }
+
+    def __repr__(self) -> str:
+        report = self.storage_report()
+        return (
+            f"CompressedTrackingForm(edges={self.edge_count}, "
+            f"events={self.total_events}, "
+            f"bytes={report['total_bytes']}, "
+            f"tick_bits={self._tick_bits})"
+        )

@@ -194,3 +194,15 @@ class TrackingForm:
             )
             self._storage_profile_cache = (self._generation, cached)
         return list(cached)
+
+    def storage_report(self) -> dict:
+        """Bytes-per-component accounting in the unified store schema
+        (nominal 8 bytes per stored timestamp, the paper's storage
+        model — this store keeps Python lists, not packed columns)."""
+        events = self.total_events
+        return {
+            "store": type(self).__name__,
+            "events": int(events),
+            "total_bytes": int(events) * 8,
+            "components": {"timestamps": int(events) * 8},
+        }

@@ -91,6 +91,24 @@ class ModeledCountStore:
             )
         return sorted(per_edge.values())
 
+    def storage_report(self) -> dict:
+        """Bytes-per-component accounting in the unified store schema
+        (components are the model families in use)."""
+        components: Dict[str, int] = {}
+        events = 0
+        for model in self._models.values():
+            name = type(model).__name__
+            components[name] = (
+                components.get(name, 0) + int(model.storage_bytes)
+            )
+            events += int(model.event_count)
+        return {
+            "store": type(self).__name__,
+            "events": events,
+            "total_bytes": int(sum(components.values())),
+            "components": components,
+        }
+
 
 @dataclass
 class _Stream:

@@ -215,6 +215,37 @@ def _slow_query_rows(flight: FlightRecorder, limit: int = 10) -> str:
     return "".join(rows)
 
 
+def _storage_rows(storage: Mapping[str, object]) -> str:
+    """Rows of the storage panel: one per store, then its components
+    as bars scaled to the largest component on the page."""
+    rows = []
+    widest = max(
+        (
+            nbytes
+            for report in storage.get("stores", ())
+            for nbytes in report["components"].values()
+        ),
+        default=1,
+    )
+    for report in storage.get("stores", ()):
+        rows.append(
+            "<tr>"
+            f"<td><b>{html.escape(str(report['store']))}</b></td>"
+            f"<td>{report['events']}</td>"
+            f"<td><b>{report['total_bytes']}</b></td><td></td></tr>"
+        )
+        for name, nbytes in sorted(report["components"].items()):
+            width = min(max(nbytes / max(widest, 1), 0.0), 1.0)
+            rows.append(
+                "<tr>"
+                f"<td style='padding-left:2em'>{html.escape(name)}</td>"
+                f"<td></td><td>{nbytes}</td>"
+                f'<td><span class="bar"><span style="width:{width:.0%};'
+                'background:#4a7dcf"></span></span></td></tr>'
+            )
+    return "".join(rows)
+
+
 def render_dashboard(
     *,
     title: str,
@@ -225,9 +256,15 @@ def render_dashboard(
     health: FleetHealth,
     explain_text: Optional[str] = None,
     flight: Optional[FlightRecorder] = None,
+    storage: Optional[Mapping[str, object]] = None,
     panels: Sequence[tuple] = DEFAULT_PANELS,
 ) -> str:
-    """The full dashboard page as one HTML string."""
+    """The full dashboard page as one HTML string.
+
+    ``storage`` is an optional framework
+    :meth:`~repro.core.InNetworkFramework.storage_report` payload; when
+    given, the page gains a per-component storage breakdown panel.
+    """
     meta_rows = "".join(
         f"<tr><td>{html.escape(str(key))}</td>"
         f"<td><b>{html.escape(str(value))}</b></td></tr>"
@@ -293,6 +330,18 @@ def render_dashboard(
             f"{_slow_query_rows(flight)}</table>"
         )
 
+    storage_html = ""
+    if storage is not None and storage.get("stores"):
+        storage_html = (
+            "<h2>Storage</h2>"
+            f"<p>{storage['total_bytes']} bytes across "
+            f"{len(storage['stores'])} store tier(s)</p>"
+            '<table class="slo">'
+            "<tr><th>store / component</th><th>events</th>"
+            "<th>bytes</th><th></th></tr>"
+            f"{_storage_rows(storage)}</table>"
+        )
+
     offenders = health.worst_offenders(10)
     offender_rows = "".join(
         "<tr>"
@@ -335,6 +384,7 @@ def render_dashboard(
 
 <h2>Alerts</h2>
 {alerts_html}
+{storage_html}
 {flight_html}
 {explain_html}
 </body></html>

@@ -121,6 +121,13 @@ class QueryEngine:
     #: Always-on flight recorder: one cheap ring-buffer record per
     #: query, slow queries promoted to full detail.  ``None`` disables.
     flight: Optional[FlightRecorder] = None
+    #: Error-bounded count sketch
+    #: (:class:`~repro.forms.EdgeCountSketch`).  With ``planner="auto"``
+    #: a query carrying ``max_error`` is answered from the sketch
+    #: whenever its worst-case bound fits the tolerance — no chain
+    #: compilation, no sensor contact — and falls back to the exact
+    #: path otherwise.  ``None`` disables the fast tier.
+    sketch: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.access_mode not in ("perimeter", "flood"):
@@ -160,6 +167,16 @@ class QueryEngine:
         )
         self._metric_queries: Dict[Tuple[str, str], object] = {}
         self._metric_misses: Dict[Tuple[str, str], object] = {}
+        self._metric_sketch_hits = self._registry.counter(
+            "repro_sketch_queries_total",
+            help="Sketch fast-path attempts by outcome",
+            outcome="hit",
+        )
+        self._metric_sketch_fallbacks = self._registry.counter(
+            "repro_sketch_queries_total",
+            help="Sketch fast-path attempts by outcome",
+            outcome="fallback",
+        )
         #: Whether the store answers id-native chain integration.
         self._id_native = hasattr(self.store, "integrate_until_ids")
         self._compiled: Optional[CompiledQueryPlanner] = None
@@ -288,14 +305,26 @@ class QueryEngine:
                     edges = self.network.region_boundary(regions)
                     boundary_len = len(edges)
             t_boundary = pc()
+            sketch_hit = None
+            if chain is not None:
+                sketch_hit = self._try_sketch(chain, query)
+            approximate = False
+            degradation = None
             with tracer.span("query.integrate", edges=boundary_len):
-                if planner is not None:
+                if sketch_hit is not None:
+                    value, degradation = sketch_hit
+                    approximate = True
+                elif planner is not None:
                     value = self._integrate_chain(planner, chain, query)
                 else:
                     value = self._integrate(edges, query)
             t_integrate = pc()
             with tracer.span("query.account_sensors", mode=self.access_mode):
-                if planner is not None:
+                if sketch_hit is not None:
+                    # Served from the server-side summary: no sensors
+                    # contacted, no perimeter aggregation.
+                    nodes_accessed = 0
+                elif planner is not None:
                     if self.access_mode == "flood":
                         sensor_ids = planner.flood_sensors(regions)
                     else:
@@ -306,8 +335,6 @@ class QueryEngine:
                     nodes_accessed = len(sensors)
             accounted = nodes_accessed
             edges_reached = boundary_len
-            approximate = False
-            degradation = None
             if self._simulator is not None and nodes_accessed:
                 with tracer.span(
                     "query.fault_dispatch", strategy=self.dispatch_strategy
@@ -552,15 +579,69 @@ class QueryEngine:
                     boundary.size if planner is not None else len(boundary)
                 )
 
+                sketch_hit = None
+                if planner is not None:
+                    sketch_hit = self._try_sketch(boundary, query)
+                degradation = None
                 t_pre_integrate = pc()
                 with tracer.span("query.integrate", edges=boundary_len):
-                    if planner is not None:
+                    if sketch_hit is not None:
+                        value, degradation = sketch_hit
+                    elif planner is not None:
                         value = self._integrate_chain(
                             planner, boundary, query
                         )
                     else:
                         value = self._integrate(boundary, query)
                 t_integrate = pc() - t_pre_integrate
+
+                if sketch_hit is not None:
+                    elapsed = (pc() - start) - shared
+                    fill_seconds.inc(shared)
+                    self._record_degradation(degradation)
+                    self._metric_edges.inc(boundary_len)
+                    self._metric_seconds.inc(elapsed)
+                    self._metric_latency.observe(elapsed)
+                    provenance = None
+                    if with_provenance:
+                        provenance = QueryProvenance(
+                            planner=self.planner_in_use,
+                            junction_count=junction_count,
+                            region_ids=regions,
+                            boundary_length=boundary_len,
+                            sensors_accessed=0,
+                            cache_served=all(hits.values()),
+                            cache_hits=hits,
+                            shared_fill_s=shared,
+                            phase_s={"integrate": t_integrate},
+                        )
+                    if self.flight is not None:
+                        self._record_flight(
+                            query,
+                            elapsed,
+                            value=value,
+                            missed=False,
+                            stage_s={**phase_s, "integrate": t_integrate},
+                            degradation=degradation,
+                            provenance=provenance,
+                        )
+                    results.append(
+                        QueryResult(
+                            query=query,
+                            value=value,
+                            missed=False,
+                            regions=regions,
+                            edges_accessed=boundary_len,
+                            nodes_accessed=0,
+                            hops=boundary_len,
+                            elapsed=elapsed,
+                            cache_served=all(hits.values()),
+                            provenance=provenance,
+                            approximate=True,
+                            degradation=degradation,
+                        )
+                    )
+                    continue
 
                 n_sensors = sensors_cache.get(regions)
                 if n_sensors is None:
@@ -761,6 +842,63 @@ class QueryEngine:
                 help="Absolute count-error bound of degraded queries",
                 strategy=degradation.strategy,
             ).observe(degradation.error_bound)
+
+    # ------------------------------------------------------------------
+    # Sketch fast path (error-bounded approximate tier)
+    # ------------------------------------------------------------------
+    def _try_sketch(
+        self, chain, query: RangeQuery
+    ) -> Optional[Tuple[float, QueryDegradation]]:
+        """Sketch answer for an id-native chain, or ``None`` to fall
+        back to the exact path.
+
+        Only attempted under ``planner="auto"`` (forcing "compiled" or
+        "python" pins the exact pipeline), without fault simulation
+        (degraded dispatch must sample the live sensor set), and when
+        the query states a ``max_error`` tolerance.  A hit is flagged
+        ``approximate`` and carries its worst-case bound through
+        :class:`~repro.query.QueryDegradation` with
+        ``strategy="sketch"``; the bound always contains the exact
+        answer (see :class:`~repro.forms.EdgeCountSketch`).
+        """
+        if (
+            self.sketch is None
+            or query.max_error is None
+            or self.planner != "auto"
+            or self._simulator is not None
+        ):
+            return None
+        wall_ids, signs = chain.wall_ids, chain.signs
+        sketch = self.sketch
+        if query.kind == TRANSIENT:
+            estimate, bound = sketch.estimate_between_ids(
+                wall_ids, signs, query.t1, query.t2
+            )
+        elif self.static_eval == "end":
+            estimate, bound = sketch.estimate_until_ids(
+                wall_ids, signs, query.t2
+            )
+        elif self.static_eval == "start":
+            estimate, bound = sketch.estimate_until_ids(
+                wall_ids, signs, query.t1
+            )
+        else:  # "min": min estimate; max bound covers min() exactly
+            e1, b1 = sketch.estimate_until_ids(wall_ids, signs, query.t1)
+            e2, b2 = sketch.estimate_until_ids(wall_ids, signs, query.t2)
+            estimate, bound = min(e1, e2), max(b1, b2)
+        if bound > query.max_error:
+            self._metric_sketch_fallbacks.inc()
+            return None
+        self._metric_sketch_hits.inc()
+        degradation = QueryDegradation(
+            skipped_sensors=(),
+            lost_walls=0,
+            boundary_walls=chain.size,
+            error_bound=float(bound),
+            coverage=1.0,
+            strategy="sketch",
+        )
+        return float(estimate), degradation
 
     # ------------------------------------------------------------------
     def _integrate(self, boundary, query: RangeQuery) -> float:

@@ -27,6 +27,13 @@ class RangeQuery:
     sensing-graph faces at execution time, §5.1.5); ``(t1, t2)`` the
     temporal interval; ``kind`` selects the static or transient count
     (§3.3); ``bound`` the lower or upper spatial approximation (§4.6).
+
+    ``max_error`` is the caller's absolute count-error tolerance: when
+    set, an engine holding an error-bounded sketch may answer from the
+    sketch whenever its worst-case bound is within the tolerance (the
+    result then carries a ``QueryDegradation`` with
+    ``strategy="sketch"``); ``None`` (the default) always takes the
+    exact path.
     """
 
     box: BBox
@@ -34,6 +41,7 @@ class RangeQuery:
     t2: float
     kind: str = STATIC
     bound: str = LOWER
+    max_error: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.t2 < self.t1:
@@ -42,12 +50,18 @@ class RangeQuery:
             raise QueryError(f"unknown query kind {self.kind!r}")
         if self.bound not in (LOWER, UPPER):
             raise QueryError(f"unknown bound {self.bound!r}")
+        if self.max_error is not None and self.max_error < 0:
+            raise QueryError("max_error must be >= 0")
 
     def with_bound(self, bound: str) -> "RangeQuery":
-        return RangeQuery(self.box, self.t1, self.t2, self.kind, bound)
+        return RangeQuery(
+            self.box, self.t1, self.t2, self.kind, bound, self.max_error
+        )
 
     def with_kind(self, kind: str) -> "RangeQuery":
-        return RangeQuery(self.box, self.t1, self.t2, kind, self.bound)
+        return RangeQuery(
+            self.box, self.t1, self.t2, kind, self.bound, self.max_error
+        )
 
 
 @dataclass(frozen=True)

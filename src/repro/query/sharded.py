@@ -200,10 +200,16 @@ def _worker_engine(shard: int, static_eval: str) -> QueryEngine:
         form = forms.get(shard)
         if form is None:
             network: SensorNetwork = _WORKER["network"]
-            form = CompiledTrackingForm.shm_attach(
-                _WORKER["descriptors"][shard],
-                network.domain.edge_interner,
-            )
+            descriptor = _WORKER["descriptors"][shard]
+            # Descriptor-driven dispatch: compressed shards pack the
+            # succinct wire format and self-identify via "form".
+            if descriptor.get("form") == "compressed":
+                from ..forms import CompressedTrackingForm
+
+                attach = CompressedTrackingForm.shm_attach
+            else:
+                attach = CompiledTrackingForm.shm_attach
+            form = attach(descriptor, network.domain.edge_interner)
             forms[shard] = form
         engine = QueryEngine(
             _WORKER["network"],
@@ -346,6 +352,8 @@ class ShardedQueryEngine:
         seed: int = 0,
         collect_worker_metrics: bool = True,
         flight: Optional[FlightRecorder] = None,
+        compress: bool = False,
+        tick_bits: int = 0,
     ) -> None:
         if not isinstance(columns, EventColumns):
             raise QueryError(
@@ -361,6 +369,8 @@ class ShardedQueryEngine:
         self.shards = int(shards)
         self.access_mode = access_mode
         self.static_eval = static_eval
+        self.compress = bool(compress)
+        self.tick_bits = int(tick_bits)
         self.obs = (
             instrumentation
             if instrumentation is not None
@@ -393,7 +403,11 @@ class ShardedQueryEngine:
         if faults is not None or self.shards == 1 or self.workers == 0:
             self._delegate = QueryEngine(
                 network,
-                store if store is not None else network.build_form(columns),
+                store
+                if store is not None
+                else network.build_form(
+                    columns, compress=compress, tick_bits=tick_bits
+                ),
                 access_mode=access_mode,
                 static_eval=static_eval,
                 instrumentation=instrumentation,
@@ -427,9 +441,20 @@ class ShardedQueryEngine:
                 part = observed.select(np.flatnonzero(labels == shard))
                 self.shard_events.append(len(part))
                 shard_edge_ids.append(np.unique(part.edge_id))
-                form = CompiledTrackingForm(
-                    columns.interner, part.edge_id, part.direction, part.t
-                )
+                if self.compress:
+                    from ..forms import CompressedTrackingForm
+
+                    form = CompressedTrackingForm(
+                        columns.interner,
+                        part.edge_id,
+                        part.direction,
+                        part.t,
+                        tick_bits=self.tick_bits,
+                    )
+                else:
+                    form = CompiledTrackingForm(
+                        columns.interner, part.edge_id, part.direction, part.t
+                    )
                 handle, descriptor = form.shm_pack(hint=f"shard{shard}")
                 self._segments.append(handle)
                 descriptors.append(descriptor)
@@ -585,6 +610,7 @@ class ShardedQueryEngine:
             "mode": "sharded",
             "shards": self.shards,
             "workers": self.workers,
+            "compress": self.compress,
             "events_per_shard": list(self.shard_events),
             "segment_bytes": [s.size for s in self._segments],
             "reachable_regions_per_shard": [

@@ -169,7 +169,10 @@ class SensorNetwork:
     # Ingestion
     # ------------------------------------------------------------------
     def build_form(
-        self, events: Union[EventColumns, Iterable[CrossingEvent]]
+        self,
+        events: Union[EventColumns, Iterable[CrossingEvent]],
+        compress: bool = False,
+        tick_bits: int = 0,
     ):
         """Tracking form of all crossings this network's walls observe.
 
@@ -177,16 +180,24 @@ class SensorNetwork:
         the vectorised path: one boolean wall mask over the interned
         edge-id column + fancy indexing, compiled straight into a
         :class:`~repro.forms.CompiledTrackingForm` (CSR timestamp
-        arrays).  Row-wise event iterables keep the legacy per-event
-        loop and return a plain :class:`~repro.forms.TrackingForm`; the
-        two stores answer the count interface identically.
+        arrays) — or, with ``compress=True``, the succinct
+        :class:`~repro.forms.CompressedTrackingForm` over ``tick_bits``
+        dyadic ticks.  Row-wise event iterables keep the legacy
+        per-event loop and return a plain
+        :class:`~repro.forms.TrackingForm`; all stores answer the count
+        interface identically.
         """
         if isinstance(events, EventColumns):
-            return self.build_form_columnar(events)
+            return self.build_form_columnar(
+                events, compress=compress, tick_bits=tick_bits
+            )
         return self.build_form_loop(events)
 
     def build_form_columnar(
-        self, columns: EventColumns
+        self,
+        columns: EventColumns,
+        compress: bool = False,
+        tick_bits: int = 0,
     ) -> CompiledTrackingForm:
         """Vectorised ingestion of a columnar event stream."""
         observed = columns.filter_edges(self._wall_lookup())
@@ -200,6 +211,16 @@ class SensorNetwork:
             "repro_ingest_events_observed_total",
             help="Events landing on a monitored wall during form builds",
         ).inc(len(observed.t))
+        if compress:
+            from ..forms import CompressedTrackingForm
+
+            return CompressedTrackingForm(
+                columns.interner,
+                observed.edge_id,
+                observed.direction,
+                observed.t,
+                tick_bits=tick_bits,
+            )
         return CompiledTrackingForm(
             columns.interner,
             observed.edge_id,

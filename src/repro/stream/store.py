@@ -87,7 +87,14 @@ class StreamingEventStore:
         compact_every: int = DEFAULT_COMPACT_EVERY,
         max_blocks: int = DEFAULT_MAX_BLOCKS,
         boundary_cache_size: int = DEFAULT_BOUNDARY_CACHE_SIZE,
+        compress: bool = False,
+        tick_bits: int = 0,
     ) -> None:
+        """``compress=True`` compacts the tail into succinct
+        :class:`~repro.forms.CompressedTrackingForm` blocks and
+        quantizes timestamps to ``2**tick_bits`` ticks per second at
+        the append boundary — the tail holds the *quantized* values,
+        so tail and block answers agree at every instant."""
         if compact_every < 1:
             raise QueryError("compact_every must be >= 1")
         if max_blocks < 1:
@@ -97,6 +104,9 @@ class StreamingEventStore:
         self.max_blocks = int(max_blocks)
         self._boundary_cache_size = int(boundary_cache_size)
         self._interner = network.domain.edge_interner
+        self.compress = bool(compress)
+        self.tick_bits = int(tick_bits)
+        self._tick_scale = float(2.0 ** self.tick_bits)
 
         self._tail = TrackingForm()
         #: Staging columns of the tail, columnarised at compact time.
@@ -183,14 +193,20 @@ class StreamingEventStore:
         intern = self._interner.intern
         tail = self._tail
         observed: List[CrossingEvent] = []
+        compress = self.compress
+        scale = self._tick_scale
         for event in events:
             eid, forward = intern(event.tail, event.head)
             if eid >= len(lookup) or not lookup[eid]:
                 continue
-            tail.record(event.tail, event.head, event.t)
+            t = float(event.t)
+            if compress:
+                # Ingest-boundary quantization (see CompressedTrackingForm)
+                t = round(t * scale) / scale
+            tail.record(event.tail, event.head, t)
             self._tail_ids.append(eid)
             self._tail_dirs.append(0 if forward else 1)
-            self._tail_ts.append(float(event.t))
+            self._tail_ts.append(t)
             observed.append(event)
         if observed:
             self._generation += 1
@@ -224,13 +240,25 @@ class StreamingEventStore:
         dirs = np.asarray(self._tail_dirs, dtype=np.int8)
         ts = np.asarray(self._tail_ts, dtype=np.float64)
         order = np.argsort(ts, kind="stable")
-        block = CompiledTrackingForm(
-            self._interner,
-            ids[order],
-            dirs[order],
-            ts[order],
-            boundary_cache_size=self._boundary_cache_size,
-        )
+        if self.compress:
+            from ..forms import CompressedTrackingForm
+
+            block = CompressedTrackingForm(
+                self._interner,
+                ids[order],
+                dirs[order],
+                ts[order],
+                boundary_cache_size=self._boundary_cache_size,
+                tick_bits=self.tick_bits,
+            )
+        else:
+            block = CompiledTrackingForm(
+                self._interner,
+                ids[order],
+                dirs[order],
+                ts[order],
+                boundary_cache_size=self._boundary_cache_size,
+            )
         self._fire_compact("built")
         # Atomic swap: the block joins, then the tail resets.  No
         # intermediate state loses or double-counts an event because
@@ -342,10 +370,13 @@ class StreamingEventStore:
         self, wall_ids: np.ndarray, signs: np.ndarray
     ) -> List[Tuple[DirectedEdge, int]]:
         """Canonical edge + sign per chain entry, LRU-cached on the
-        chain bytes (pure id → edge decoding; append-proof)."""
-        wall_ids = np.ascontiguousarray(wall_ids)
-        signs = np.ascontiguousarray(signs)
-        key = (wall_ids.tobytes(), signs.tobytes(), wall_ids.dtype.itemsize)
+        chain bytes (pure id → edge decoding; append-proof).  The
+        arrays are canonicalised to int32/int8 first, so the digest
+        matches :meth:`CompiledTrackingForm.compile_boundary_ids`
+        regardless of the caller's platform-promoted widths."""
+        wall_ids = np.ascontiguousarray(wall_ids, dtype=np.int32)
+        signs = np.ascontiguousarray(signs, dtype=np.int8)
+        key = (wall_ids.tobytes(), signs.tobytes())
         decoded = self._chain_edges.get(key)
         if decoded is not None:
             self._chain_edges.move_to_end(key)
@@ -446,6 +477,27 @@ class StreamingEventStore:
     def storage_profile(self) -> List[int]:
         return sorted(self.event_count(edge) for edge in self.edges())
 
+    def storage_report(self) -> dict:
+        """Bytes-per-component accounting in the unified store schema.
+
+        Block components are aggregated across all compacted blocks
+        under a ``blocks.`` prefix (compressed deployments show the
+        succinct layout there); the mutable tail is charged its
+        nominal columnar cost (8B timestamp + 4B edge id + 1B
+        direction per staged event).
+        """
+        components = {"tail": int(len(self._tail_ts) * 13)}
+        for block in self._blocks:
+            for name, nbytes in block.storage_report()["components"].items():
+                key = f"blocks.{name}"
+                components[key] = components.get(key, 0) + int(nbytes)
+        return {
+            "store": type(self).__name__,
+            "events": int(self.total_events),
+            "total_bytes": int(sum(components.values())),
+            "components": components,
+        }
+
     def snapshot_columns(self) -> EventColumns:
         """All stored events as one time-sorted
         :class:`~repro.trajectories.EventColumns` (shard-rebuild and
@@ -481,6 +533,7 @@ class StreamingEventStore:
             "observed_total": self.observed_total,
             "compact_every": self.compact_every,
             "max_blocks": self.max_blocks,
+            "compress": self.compress,
             "closed": self.closed,
         }
 

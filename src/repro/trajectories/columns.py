@@ -92,6 +92,27 @@ class EventColumns:
             t=t[order],
         )
 
+    def quantized(self, tick_bits: int) -> "EventColumns":
+        """Timestamps snapped to the ``2**tick_bits`` ticks/second grid.
+
+        The succinct tier's ingest-boundary quantization: rounding is
+        monotone, so the time-sorted invariant survives, and every
+        snapped value is exactly float64-representable — stores built
+        from the result (compressed or not) hold identical multisets.
+        Self is returned when nothing changes.
+        """
+        from ..forms.succinct import quantize_times
+
+        t = quantize_times(self.t, tick_bits)
+        if np.array_equal(t, self.t):
+            return self
+        return EventColumns(
+            interner=self.interner,
+            edge_id=self.edge_id,
+            direction=self.direction,
+            t=t,
+        )
+
     # ------------------------------------------------------------------
     # Vectorised filtering
     # ------------------------------------------------------------------
