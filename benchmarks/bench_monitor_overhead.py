@@ -23,6 +23,15 @@ into the overhead sum under the same 5% budget.  The design claim is
 sub-microsecond per record (``__slots__`` object plus ``deque`` append;
 digests and dict shaping are deferred to dump time).
 
+The continuous profiler (:class:`repro.obs.Profiler`) is additive the
+same way — the profiled code never calls into the sampler; cost is
+``hz × sample_cost`` of wall time regardless of workload.  One sample
+walk (``sys._current_frames`` + stack collapse + span join) is timed
+with the workload's thread structure in place and folded in as
+``plain_s × DEFAULT_PROFILE_HZ × sample_s`` under the same budget, so
+the gate bounds telemetry ticks + flight records + profiler-on
+sampling together.
+
 Runs standalone: ``python benchmarks/bench_monitor_overhead.py``
 (``--smoke`` is the CI gate; ``--write`` records the measurement in
 ``benchmarks/BENCH_monitor.json`` for the paper trail).
@@ -49,11 +58,14 @@ from repro.evaluation import SMALL_CONFIG
 from repro.evaluation.workloads import QueryWorkloadConfig, generate_queries
 from repro.mobility import MobilityDomain, organic_city
 from repro.obs import (
+    DEFAULT_PROFILE_HZ,
     FlightRecorder,
     Instrumentation,
     MetricsRegistry,
     NULL_TRACER,
+    Profiler,
     TimeSeriesRecorder,
+    Tracer,
     set_registry,
 )
 from repro.query import QueryEngine
@@ -160,11 +172,25 @@ def measure(repeats: int) -> dict:
         repeats, min_sample_s=0.02,
     )
 
+    # The continuous profiler steals `hz` sample walks per second of
+    # wall time, independent of the workload (the profiled code never
+    # calls into it).  Time one walk — `sys._current_frames()` over
+    # this process's live threads, stack collapse, span join — with the
+    # sampler thread *not* running (sample_once is what each tick
+    # does), and charge hz × plain_s walks per run.
+    profiler = Profiler(tracer=Tracer(), hz=DEFAULT_PROFILE_HZ)
+    profiler.sample_once()
+    sample_s = _best(profiler.sample_once, repeats, min_sample_s=0.02)
+    profile_added_s = plain_s * DEFAULT_PROFILE_HZ * sample_s
+
     # The monitor's tick schedule over one run: one per ingest plus one
     # every SAMPLE_EVERY queries (the final flush tick coincides); the
-    # flight recorder fires on every query.
+    # flight recorder fires on every query; the profiler samples at
+    # DEFAULT_PROFILE_HZ for the run's duration.
     ticks_per_run = 1 + len(queries) // SAMPLE_EVERY
-    added_s = ticks_per_run * tick_s + len(queries) * record_s
+    added_s = (
+        ticks_per_run * tick_s + len(queries) * record_s + profile_added_s
+    )
     return {
         "blocks": SMALL_CONFIG.blocks,
         "n_queries": len(queries),
@@ -172,6 +198,9 @@ def measure(repeats: int) -> dict:
         "plain_s": plain_s,
         "tick_s": tick_s,
         "flight_record_s": record_s,
+        "profile_hz": DEFAULT_PROFILE_HZ,
+        "sample_s": sample_s,
+        "profile_overhead": profile_added_s / plain_s,
         "ticks_per_run": ticks_per_run,
         "sampled_s": plain_s + added_s,
         "overhead": added_s / plain_s,
@@ -184,7 +213,9 @@ def format_entry(entry: dict) -> str:
         f"ingest+query ({entry['n_queries']} queries, tick every "
         f"{entry['sample_every']}): plain {entry['plain_s'] * 1e3:.2f}ms, "
         f"tick {entry['tick_s'] * 1e6:.1f}us x{entry['ticks_per_run']}, "
-        f"flight {entry['flight_record_s'] * 1e9:.0f}ns/query "
+        f"flight {entry['flight_record_s'] * 1e9:.0f}ns/query, "
+        f"profile {entry['sample_s'] * 1e6:.1f}us/sample @"
+        f"{entry['profile_hz']:.0f}Hz ({entry['profile_overhead']:+.1%}) "
         f"-> sampled {entry['sampled_s'] * 1e3:.2f}ms "
         f"(overhead {entry['overhead']:+.1%}, budget "
         f"{entry['budget']:.0%})"

@@ -1,0 +1,129 @@
+"""Aggregate the committed BENCH_*.json files into a trend report.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python benchmarks/bench_report.py            # print report
+    PYTHONPATH=src python benchmarks/bench_report.py --write    # append snapshot
+    PYTHONPATH=src python benchmarks/bench_report.py --check    # CI gate
+
+``--check`` exits non-zero when any tracked cell of the committed
+BENCH files regressed beyond the tolerance relative to the last
+committed ``BENCH_trend.json`` snapshot — the gate is deterministic
+because both sides live in the repository.  Accepting an intentional
+regression means re-running with ``--write`` and committing the
+updated trend file.
+
+Also exposed as ``repro bench-report`` (same flags).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:  # standalone invocation without PYTHONPATH=src
+    import repro  # noqa: F401
+except ImportError:  # pragma: no cover
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.evaluation.benchtrend import (
+    DEFAULT_TOLERANCE,
+    build_trend,
+    render_html,
+    render_markdown,
+)
+
+BENCH_DIR = Path(__file__).resolve().parent
+TREND_PATH = BENCH_DIR / "BENCH_trend.json"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark trend report over the committed "
+        "BENCH_*.json files"
+    )
+    parser.add_argument(
+        "--bench-dir",
+        type=Path,
+        default=BENCH_DIR,
+        help="directory holding the BENCH_*.json files",
+    )
+    parser.add_argument(
+        "--trend",
+        type=Path,
+        default=None,
+        help="trend history file (default: <bench-dir>/BENCH_trend.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="relative worsening tolerated before a cell counts as "
+        "regressed (default %(default)s)",
+    )
+    parser.add_argument(
+        "--write",
+        action="store_true",
+        help="append the current cells as a new trend snapshot",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 if any tracked cell regressed vs the last snapshot",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="also write the markdown report to this path",
+    )
+    parser.add_argument(
+        "--html",
+        type=Path,
+        default=None,
+        help="also write the HTML report to this path",
+    )
+    args = parser.parse_args(argv)
+    trend_path = (
+        args.trend
+        if args.trend is not None
+        else args.bench_dir / "BENCH_trend.json"
+    )
+    report = build_trend(
+        args.bench_dir,
+        trend_path,
+        tolerance=args.tolerance,
+        write=args.write,
+    )
+    if args.check and not report["cells"]:
+        # A wrong --bench-dir must not read as "no regressions".
+        print(
+            f"FAIL: no BENCH_*.json cells found under {args.bench_dir}",
+            file=sys.stderr,
+        )
+        return 1
+    markdown = render_markdown(report)
+    print(markdown)
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(markdown + "\n")
+    if args.html is not None:
+        args.html.parent.mkdir(parents=True, exist_ok=True)
+        args.html.write_text(render_html(report))
+    if args.write:
+        print(f"\nwrote snapshot #{report['snapshot_count']} -> {trend_path}")
+    if args.check and report["regressed"]:
+        print(
+            f"\nFAIL: {len(report['regressed'])} cell(s) regressed beyond "
+            f"{args.tolerance:.0%}:",
+            file=sys.stderr,
+        )
+        for cell_id in report["regressed"]:
+            print(f"  {cell_id}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

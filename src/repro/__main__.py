@@ -17,9 +17,19 @@ Commands
     scatter-gather engine with per-stage latency breakdown;
     ``--flight out.json`` dumps the flight recorder's recent and
     slow-query records (promotion threshold ``--slow-ms``).
+``bench-report``
+    Aggregate the committed ``benchmarks/BENCH_*.json`` files into a
+    ``BENCH_trend.json`` history plus a markdown/HTML trend report
+    with a per-cell regression verdict (``--check`` is the CI gate;
+    ``--write`` appends a snapshot).
 ``info``
     Print the library version and the available selectors, stores and
     city generators.
+
+``demo`` and ``monitor`` accept ``--profile DIR``: a continuous
+sampling profiler attributes stacks to the open tracer spans and
+writes a collapsed-stack file plus speedscope JSON (with ``--shards``
+one flamegraph covers the parent and every shard worker).
 ``city``
     Generate a synthetic road network and save it in the JSON map
     interchange format (loadable with ``repro.mobility.load_road_network``).
@@ -62,13 +72,14 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.obs import Instrumentation, MetricsRegistry, kv, set_registry
     from repro.trajectories import WorkloadConfig, generate_workload
 
-    instrumented = bool(args.trace or args.metrics)
+    instrumented = bool(args.trace or args.metrics or args.profile)
     if instrumented:
         # A fresh registry so the dump reflects this run only.
         set_registry(MetricsRegistry())
         obs = Instrumentation.on(provenance=True)
     else:
         obs = None
+    profile_hz = args.profile_hz if args.profile else 0.0
 
     rng = np.random.default_rng(args.seed)
     road = organic_city(blocks=args.blocks, rng=rng)
@@ -87,7 +98,9 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                         compact_every=args.compact_every,
                         compress=args.compress,
                         tick_bits=args.tick_bits,
-                        sketch_bins=args.sketch_bins)
+                        sketch_bins=args.sketch_bins,
+                        profile_hz=profile_hz,
+                        profile_memory=args.profile_memory)
     )
     log.info(f"deployed: {len(network.sensors)} sensors "
              f"({network.size_fraction:.1%}), {len(network.walls)} walls, "
@@ -208,9 +221,33 @@ def _cmd_demo(args: argparse.Namespace) -> int:
                 log.info(f"    {name:<16} {nbytes:>10} bytes")
         log.info(f"  total: {report['total_bytes']} bytes")
 
+    profiler = framework.profiler
+    if profiler is not None:
+        profiler.stop()  # flush before export; close() is a no-op then
+        paths = profiler.write(args.profile)
+        table = profiler.table
+        log.info(f"profile: {table.total} samples over {len(table)} "
+                 f"stacks @{profiler.hz:g}Hz -> "
+                 f"{paths['speedscope']}")
+        for row in table.top_rows(5):
+            log.debug("profile top %s", kv(
+                span=row["span_path"], frame=row["frame"],
+                self_ms=round(row["self_s"] * 1e3, 2),
+                share=f"{row['share']:.0%}",
+            ))
     if obs is not None:
         if args.trace:
-            obs.tracer.export_chrome(args.trace)
+            import json as _json
+
+            from repro.obs import overlay_counters
+
+            trace = obs.tracer.to_chrome_trace()
+            if profiler is not None:
+                # Counter tracks share the tracer's perf_counter origin
+                # so they overlay the span swimlanes on one time axis.
+                overlay_counters(trace, profiler, origin=obs.tracer.origin)
+            with open(args.trace, "w") as handle:
+                _json.dump(trace, handle, indent=1)
             log.info(f"trace: wrote {args.trace}")
             log.debug("span tree:\n%s", obs.tracer.format_tree())
         if args.metrics:
@@ -251,11 +288,15 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
 
     # A fresh registry so the telemetry reflects this run only; the
     # null tracer keeps the hot path span-free (the recorder samples
-    # counters, it does not need spans).
+    # counters, it does not need spans) — unless the profiler is on,
+    # which needs live spans to attribute samples to.
     registry = MetricsRegistry()
     set_registry(registry)
+    from repro.obs import Tracer as _Tracer
+
+    tracer = _Tracer() if args.profile else NULL_TRACER
     obs = Instrumentation(
-        tracer=NULL_TRACER, metrics=registry, provenance=True
+        tracer=tracer, metrics=registry, provenance=True
     )
 
     rng = np.random.default_rng(args.seed)
@@ -269,7 +310,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
                         shards=args.shards, seed=args.seed,
                         slow_query_s=args.slow_ms / 1e3,
                         compress=args.compress,
-                        tick_bits=args.tick_bits)
+                        tick_bits=args.tick_bits,
+                        profile_hz=args.profile_hz if args.profile else 0.0)
     )
     workload = generate_workload(
         domain,
@@ -350,6 +392,13 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     health = fleet_health(registry, known_sensors=network.sensors)
     explain = engine.explain(queries[0])
     flight = framework.flight_log()
+    profiler = framework.profiler
+    if profiler is not None:
+        profiler.stop()  # flush before export; close() is a no-op then
+        paths = profiler.write(args.profile)
+        table = profiler.table
+        log.info(f"profile: {table.total} samples over {len(table)} "
+                 f"stacks @{profiler.hz:g}Hz -> {paths['speedscope']}")
 
     log.info(health.format_report())
     for status in statuses:
@@ -385,6 +434,7 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             explain_text=explain.format(),
             flight=flight,
             storage=framework.storage_report(),
+            profile=profiler.table if profiler is not None else None,
         )
         with open(args.html, "w") as handle:
             handle.write(page)
@@ -398,6 +448,8 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
             "explain": explain.as_dict(),
             "flight": flight.as_dict(),
         }
+        if profiler is not None:
+            payload["profile"] = profiler.table.as_dict()
         with open(args.json, "w") as handle:
             json.dump(payload, handle, indent=1)
         log.info(f"telemetry: wrote {args.json}")
@@ -453,6 +505,56 @@ def _cmd_monitor(args: argparse.Namespace) -> int:
     if failures:
         return 1
     log.info("smoke: health, SLO burn and EXPLAIN invariants hold")
+    return 0
+
+
+def _cmd_bench_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.evaluation.benchtrend import (
+        build_trend,
+        render_html,
+        render_markdown,
+    )
+
+    trend_path = (
+        args.trend
+        if args.trend is not None
+        else args.bench_dir / "BENCH_trend.json"
+    )
+    report = build_trend(
+        args.bench_dir,
+        trend_path,
+        tolerance=args.tolerance,
+        write=args.write,
+    )
+    if args.check and not report["cells"]:
+        # A wrong --bench-dir must not read as "no regressions".
+        log.error(f"bench-report: no BENCH_*.json cells found under "
+                  f"{args.bench_dir} — nothing to gate")
+        return 1
+    print(render_markdown(report))
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(render_markdown(report) + "\n")
+        log.info(f"bench-report: wrote {args.markdown}")
+    if args.html is not None:
+        args.html.parent.mkdir(parents=True, exist_ok=True)
+        args.html.write_text(render_html(report))
+        log.info(f"bench-report: wrote {args.html}")
+    if args.json is not None:
+        args.json.parent.mkdir(parents=True, exist_ok=True)
+        with open(args.json, "w") as handle:
+            json.dump(report, handle, indent=1, sort_keys=True)
+        log.info(f"bench-report: wrote {args.json}")
+    if args.write:
+        log.info(f"bench-report: snapshot #{report['snapshot_count']} "
+                 f"-> {trend_path}")
+    if args.check and report["regressed"]:
+        log.error(f"bench-report: {len(report['regressed'])} cell(s) "
+                  f"regressed beyond {args.tolerance:.0%}: "
+                  + ", ".join(report["regressed"]))
+        return 1
     return 0
 
 
@@ -537,6 +639,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--slow-ms", type=float, default=100.0,
                       help="flight-recorder slow-query promotion "
                            "threshold in milliseconds")
+    demo.add_argument("--profile", metavar="DIR", default=None,
+                      help="continuous sampling profiler: write "
+                           "profile.collapsed + profile.speedscope.json "
+                           "(span-attributed flamegraph; with --shards "
+                           "the worker samples nest under their "
+                           "worker.run spans) into DIR")
+    demo.add_argument("--profile-hz", type=float, default=97.0,
+                      help="sampler rate for --profile (samples/s)")
+    demo.add_argument("--profile-memory", action="store_true",
+                      help="also keep tracemalloc per-span peak "
+                           "watermarks (heavier; needs --profile)")
     demo.add_argument("--stream", action="store_true",
                       help="streaming ingestion: feed events in arrival "
                            "windows through the LSM-style store "
@@ -611,6 +724,13 @@ def build_parser() -> argparse.ArgumentParser:
     monitor.add_argument("--slow-ms", type=float, default=100.0,
                          help="flight-recorder slow-query promotion "
                               "threshold in milliseconds")
+    monitor.add_argument("--profile", metavar="DIR", default=None,
+                         help="continuous sampling profiler: write "
+                              "profile.collapsed + profile.speedscope"
+                              ".json into DIR; the dashboard gains a "
+                              "top-frames panel")
+    monitor.add_argument("--profile-hz", type=float, default=97.0,
+                         help="sampler rate for --profile (samples/s)")
     monitor.add_argument("--compress", action="store_true",
                          help="succinct storage tier (compressed "
                               "timestamp columns); the dashboard gains "
@@ -624,6 +744,42 @@ def build_parser() -> argparse.ArgumentParser:
                               "faults, EXPLAIN consistency) and exit "
                               "non-zero on failure")
     monitor.set_defaults(handler=_cmd_monitor)
+
+    from pathlib import Path
+
+    from repro.evaluation.benchtrend import DEFAULT_TOLERANCE
+
+    bench_report = commands.add_parser(
+        "bench-report",
+        help="aggregate the committed benchmarks/BENCH_*.json files "
+             "into a BENCH_trend.json history + trend report with "
+             "per-cell regression verdicts",
+    )
+    bench_report.add_argument("--bench-dir", type=Path,
+                              default=Path("benchmarks"),
+                              help="directory holding BENCH_*.json "
+                                   "(default: ./benchmarks)")
+    bench_report.add_argument("--trend", type=Path, default=None,
+                              help="trend history file (default: "
+                                   "<bench-dir>/BENCH_trend.json)")
+    bench_report.add_argument("--tolerance", type=float,
+                              default=DEFAULT_TOLERANCE,
+                              help="relative worsening tolerated before "
+                                   "a cell counts as regressed "
+                                   "(default %(default)s)")
+    bench_report.add_argument("--write", action="store_true",
+                              help="append the current cells as a new "
+                                   "trend snapshot")
+    bench_report.add_argument("--check", action="store_true",
+                              help="exit 1 if any tracked cell regressed "
+                                   "vs the last snapshot")
+    bench_report.add_argument("--markdown", type=Path, default=None,
+                              help="write the markdown report here")
+    bench_report.add_argument("--html", type=Path, default=None,
+                              help="write the HTML report here")
+    bench_report.add_argument("--json", type=Path, default=None,
+                              help="write the full verdicts object here")
+    bench_report.set_defaults(handler=_cmd_bench_report)
 
     city = commands.add_parser("city", help="generate a synthetic city map")
     city.add_argument("output", help="output JSON path")

@@ -55,6 +55,14 @@ class FrameworkConfig:
     builds an error-bounded :class:`~repro.forms.EdgeCountSketch` with
     that many time bins; queries carrying ``max_error`` are then
     served from the sketch whenever its worst-case bound fits.
+
+    ``profile_hz`` > 0 turns on the continuous sampling profiler
+    (:class:`~repro.obs.Profiler`): a background thread samples every
+    application thread at that rate, attributing stacks to the open
+    tracer spans.  Sharded workers run a worker-local sampler at the
+    same rate and ship their stack tables home with each batch.
+    ``profile_memory`` additionally enables :mod:`tracemalloc` peak
+    watermarks per span path (heavier; off by default).
     """
 
     selector: str = "quadtree"
@@ -72,6 +80,8 @@ class FrameworkConfig:
     compress: bool = False
     tick_bits: int = 0
     sketch_bins: int = 0
+    profile_hz: float = 0.0
+    profile_memory: bool = False
 
     _SELECTORS = (
         "uniform",
@@ -153,6 +163,16 @@ class FrameworkConfig:
                 "sketch_bins is incompatible with streaming=True (the "
                 "sketch is built at ingest and would go stale under "
                 "incremental appends)"
+            )
+        if not 0 <= self.profile_hz <= 1000:
+            raise ConfigurationError(
+                "profile_hz must be in [0, 1000] samples per second "
+                "(0 disables the profiler)"
+            )
+        if self.profile_memory and not self.profile_hz:
+            raise ConfigurationError(
+                "profile_memory requires profile_hz > 0 (memory "
+                "watermarks ride on the sampler thread)"
             )
 
     @property

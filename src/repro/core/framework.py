@@ -37,6 +37,8 @@ from ..obs import (
     FlightRecorder,
     Instrumentation,
     NULL_INSTRUMENTATION,
+    Profiler,
+    Tracer,
     get_registry,
 )
 from ..planar import NodeId, PlanarGraph
@@ -152,6 +154,7 @@ class InNetworkFramework:
         configuration automatically.
         """
         self._guard_open()
+        self._ensure_profiler(config)
         tracer = self.obs.tracer
         with tracer.span(
             "deploy", selector=config.selector, budget=config.budget
@@ -286,6 +289,47 @@ class InNetworkFramework:
             help="Crossing events ingested by the framework",
         ).inc(len(events))
         return len(events)
+
+    def _ensure_profiler(self, config: FrameworkConfig) -> None:
+        """Start (or stop) the continuous profiler to match the config.
+
+        ``profile_hz`` > 0 wants a sampler: reuse a running one at the
+        same rate, otherwise start a fresh :class:`~repro.obs.Profiler`
+        attributed to this framework's tracer.  The shared
+        :data:`~repro.obs.NULL_INSTRUMENTATION` bundle is never mutated
+        — profiling an uninstrumented framework upgrades it to a fresh
+        bundle with a live tracer, so samples have spans to join.
+        """
+        profiler = self.obs.profiler
+        if config.profile_hz <= 0:
+            if profiler is not None:
+                profiler.stop()
+            return
+        if (
+            profiler is not None
+            and profiler.running
+            and profiler.hz == config.profile_hz
+            and profiler.memory == config.profile_memory
+        ):
+            return
+        if profiler is not None:
+            profiler.stop()
+        if self.obs is NULL_INSTRUMENTATION:
+            self.obs = Instrumentation(
+                tracer=Tracer(), metrics=get_registry(), provenance=False
+            )
+        self.obs.profiler = Profiler(
+            tracer=self.obs.tracer,
+            hz=config.profile_hz,
+            memory=config.profile_memory,
+        ).start()
+
+    @property
+    def profiler(self) -> Optional[Profiler]:
+        """The continuous sampling profiler (``None`` unless deployed
+        with ``profile_hz`` > 0 or handed an instrumented bundle that
+        carries one)."""
+        return self.obs.profiler
 
     def _drop_sharded(self) -> None:
         """Invalidate the cached sharded engine (its shards no longer
@@ -462,6 +506,10 @@ class InNetworkFramework:
         self._drop_sharded()
         if self._streaming is not None:
             self._streaming.close()
+        if self.obs.profiler is not None:
+            # Finalizer-owned, like the shm segments: stop() joins the
+            # sampler thread so close() never leaves it dangling.
+            self.obs.profiler.stop()
         self._closed = True
 
     def flight_log(self) -> FlightRecorder:

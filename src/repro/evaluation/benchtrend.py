@@ -1,0 +1,409 @@
+"""Benchmark-trend tracking: BENCH_*.json → BENCH_trend.json + report.
+
+The committed ``benchmarks/BENCH_*.json`` files pin each subsystem's
+measured numbers, but individually they are snapshots with no
+trajectory: a regression in ``compiled/batch`` queries per second
+would only trip the single per-bench smoke gate, never a trend
+analysis across PRs.  This module turns them into a tracked curve:
+
+- :func:`flatten_bench` walks one BENCH file and yields *cells* —
+  ``(cell_id, value)`` pairs for every numeric leaf, e.g.
+  ``query:entries.smoke.cells.compiled/batch.queries_per_s``;
+- :func:`classify` tags each cell's regression direction from curated
+  metric-name rules — ``higher`` (throughput, speedups, ratios,
+  containment), ``lower`` (wall seconds, bytes, overhead, error
+  bounds) or ``info`` (scale/config descriptors, never gated);
+- :func:`build_trend` appends the current cells as a new snapshot to
+  the ``BENCH_trend.json`` history and compares them against the
+  previous snapshot, producing a per-cell verdict: ``better``, ``ok``
+  (within tolerance), ``regressed``, ``new``, ``removed`` or ``info``;
+- :func:`render_markdown` / :func:`render_html` emit the trend report.
+
+The CI gate (``bench_report.py --check`` / ``repro bench-report
+--check``) is deterministic: it compares the *committed* BENCH files
+against the last *committed* snapshot, so it only fires when a PR
+commits regressed numbers.  Accepting an intentional regression means
+re-running with ``--write``, which appends a matching snapshot.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Tuple
+
+#: Trend file schema version.
+TREND_SCHEMA = 1
+
+#: Default relative tolerance before a worse value counts as a
+#: regression.  Benchmarks re-measured on different hardware move; the
+#: gate's job is catching committed collapses, not 5% noise.
+DEFAULT_TOLERANCE = 0.25
+
+#: Snapshots kept in the trend history (oldest dropped first).
+MAX_SNAPSHOTS = 200
+
+#: The committed per-subsystem benchmark files, in report order.
+BENCH_FILES = (
+    "BENCH_ingest.json",
+    "BENCH_query.json",
+    "BENCH_stream.json",
+    "BENCH_storage.json",
+    "BENCH_monitor.json",
+)
+
+#: Exact metric names (the last path component) that are *lower is
+#: better*, checked before the suffix rules: ``latency_ratio`` must
+#: not fall through to the higher-is-better ``ratio`` rule.
+_LOWER_NAMES = frozenset(
+    {
+        "latency_ratio",
+        "overhead",
+        "profile_overhead",
+        "mismatches",
+        "mean_bound",
+        "max_bound",
+    }
+)
+
+#: Exact names that are *higher is better*.
+_HIGHER_NAMES = frozenset(
+    {
+        "speedup",
+        "incremental_speedup",
+        "ratio",
+        "containment",
+        "answered",
+        "coverage",
+    }
+)
+
+#: Exact names that describe scale/configuration — tracked for the
+#: record but never gated.
+_INFO_NAMES = frozenset(
+    {
+        "schema",
+        "scale",
+        "blocks",
+        "n_trips",
+        "n_queries",
+        "n_events",
+        "n_observed",
+        "events",
+        "cores",
+        "seed",
+        "window",
+        "windows",
+        "compactions",
+        "block_merges",
+        "query_samples",
+        "tick_bits",
+        "shards",
+        "workers",
+        "budget",
+        "profile_hz",
+        "ticks_per_run",
+        "sample_every",
+        "tolerance",
+        "sample_s",  # folded into overhead; gate there, not twice
+    }
+)
+
+#: Suffix rules, applied after the exact-name tables.
+_HIGHER_SUFFIXES = ("_per_s", "_rate", "_rate_at_tolerance", "speedup")
+_LOWER_SUFFIXES = ("_s", "_bytes", "bytes", "_bound")
+
+
+def classify(cell_id: str) -> str:
+    """Regression direction of one cell: higher | lower | info."""
+    name = cell_id.rsplit(".", 1)[-1]
+    if name in _INFO_NAMES:
+        return "info"
+    if name in _LOWER_NAMES:
+        return "lower"
+    if name in _HIGHER_NAMES:
+        return "higher"
+    for suffix in _HIGHER_SUFFIXES:
+        if name.endswith(suffix):
+            return "higher"
+    for suffix in _LOWER_SUFFIXES:
+        if name.endswith(suffix):
+            return "lower"
+    return "info"
+
+
+def _walk(
+    prefix: str, node: Any
+) -> Iterator[Tuple[str, float]]:
+    if isinstance(node, Mapping):
+        for key, value in node.items():
+            key_txt = str(key)
+            path = f"{prefix}.{key_txt}" if prefix else key_txt
+            yield from _walk(path, value)
+    elif isinstance(node, bool):
+        return  # booleans are flags, not measurements
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+    # Lists and strings carry no trend cells.
+
+
+def flatten_bench(name: str, data: Mapping[str, Any]) -> Dict[str, float]:
+    """All numeric leaves of one BENCH file, keyed
+    ``<bench>:<dotted.path>`` (``BENCH_query.json`` → ``query:…``)."""
+    bench = name
+    if bench.startswith("BENCH_"):
+        bench = bench[len("BENCH_"):]
+    if bench.endswith(".json"):
+        bench = bench[: -len(".json")]
+    return {
+        f"{bench}:{path}": value for path, value in _walk("", data)
+    }
+
+
+def collect_cells(bench_dir: Path) -> Dict[str, float]:
+    """Flatten every committed BENCH file under ``bench_dir``."""
+    cells: Dict[str, float] = {}
+    for filename in BENCH_FILES:
+        path = bench_dir / filename
+        if not path.exists():
+            continue
+        with open(path) as handle:
+            cells.update(flatten_bench(filename, json.load(handle)))
+    return cells
+
+
+# ----------------------------------------------------------------------
+# Trend history + verdicts
+# ----------------------------------------------------------------------
+def load_trend(path: Path) -> Dict[str, Any]:
+    if path.exists():
+        with open(path) as handle:
+            return json.load(handle)
+    return {"schema": TREND_SCHEMA, "snapshots": []}
+
+
+def compare(
+    current: Mapping[str, float],
+    previous: Optional[Mapping[str, float]],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> Dict[str, Dict[str, Any]]:
+    """Per-cell verdicts of ``current`` against ``previous``.
+
+    Every cell gets a verdict: ``info`` (untracked direction), ``new``
+    (no previous value), ``better``, ``ok`` (within tolerance) or
+    ``regressed``; cells present only in ``previous`` report
+    ``removed``.  ``change`` is the signed relative change where
+    defined.
+    """
+    verdicts: Dict[str, Dict[str, Any]] = {}
+    previous = previous or {}
+    for cell_id in sorted(current):
+        value = current[cell_id]
+        direction = classify(cell_id)
+        entry: Dict[str, Any] = {
+            "value": value,
+            "direction": direction,
+        }
+        base = previous.get(cell_id)
+        if direction == "info":
+            entry["verdict"] = "info"
+        elif base is None:
+            entry["verdict"] = "new"
+        else:
+            entry["previous"] = base
+            if base != 0:
+                change = (value - base) / abs(base)
+            else:
+                change = 0.0 if value == 0 else float("inf")
+            entry["change"] = change
+            worse = -change if direction == "higher" else change
+            if worse > tolerance:
+                entry["verdict"] = "regressed"
+            elif worse < 0:
+                entry["verdict"] = "better"
+            else:
+                entry["verdict"] = "ok"
+        verdicts[cell_id] = entry
+    for cell_id in sorted(previous):
+        if cell_id not in current:
+            verdicts[cell_id] = {
+                "direction": classify(cell_id),
+                "verdict": "removed",
+                "previous": previous[cell_id],
+            }
+    return verdicts
+
+
+def build_trend(
+    bench_dir: Path,
+    trend_path: Path,
+    tolerance: float = DEFAULT_TOLERANCE,
+    write: bool = False,
+    now: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Compare the committed BENCH files against the last snapshot.
+
+    Returns ``{"cells", "verdicts", "regressed", "snapshot_count"}``.
+    With ``write=True`` the current cells are appended as a new
+    snapshot (history capped at :data:`MAX_SNAPSHOTS`) and the trend
+    file is rewritten.
+    """
+    cells = collect_cells(bench_dir)
+    trend = load_trend(trend_path)
+    snapshots: List[Dict[str, Any]] = trend.get("snapshots", [])
+    previous = snapshots[-1]["cells"] if snapshots else None
+    verdicts = compare(cells, previous, tolerance=tolerance)
+    regressed = sorted(
+        cell_id
+        for cell_id, entry in verdicts.items()
+        if entry["verdict"] == "regressed"
+    )
+    if write:
+        snapshots.append(
+            {
+                "id": (snapshots[-1]["id"] + 1) if snapshots else 1,
+                "recorded": now if now is not None else time.time(),
+                "cells": cells,
+            }
+        )
+        trend = {
+            "schema": TREND_SCHEMA,
+            "tolerance": tolerance,
+            "snapshots": snapshots[-MAX_SNAPSHOTS:],
+        }
+        trend_path.parent.mkdir(parents=True, exist_ok=True)
+        with open(trend_path, "w") as handle:
+            json.dump(trend, handle, indent=1, sort_keys=True)
+            handle.write("\n")
+    return {
+        "cells": cells,
+        "verdicts": verdicts,
+        "regressed": regressed,
+        "snapshot_count": len(snapshots),
+        "tolerance": tolerance,
+    }
+
+
+# ----------------------------------------------------------------------
+# Reports
+# ----------------------------------------------------------------------
+_VERDICT_MARK = {
+    "better": "▲",
+    "ok": "·",
+    "regressed": "▼",
+    "new": "+",
+    "removed": "-",
+    "info": " ",
+}
+
+
+def _format_value(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def render_markdown(report: Mapping[str, Any]) -> str:
+    """Markdown trend report: summary counts + one table per bench."""
+    verdicts: Mapping[str, Mapping[str, Any]] = report["verdicts"]
+    counts: Dict[str, int] = {}
+    for entry in verdicts.values():
+        counts[entry["verdict"]] = counts.get(entry["verdict"], 0) + 1
+    lines = [
+        "# Benchmark trend",
+        "",
+        f"Snapshots: {report['snapshot_count']}  ·  tolerance: "
+        f"{report['tolerance']:.0%}",
+        "",
+        "Verdicts: "
+        + ", ".join(
+            f"{verdict}={counts[verdict]}"
+            for verdict in (
+                "regressed",
+                "better",
+                "ok",
+                "new",
+                "removed",
+                "info",
+            )
+            if verdict in counts
+        ),
+        "",
+    ]
+    if report["regressed"]:
+        lines.append("## Regressions")
+        lines.append("")
+        for cell_id in report["regressed"]:
+            entry = verdicts[cell_id]
+            lines.append(
+                f"- `{cell_id}`: {_format_value(entry.get('previous'))} "
+                f"→ {_format_value(entry.get('value'))} "
+                f"({entry.get('change', 0.0):+.1%})"
+            )
+        lines.append("")
+    by_bench: Dict[str, List[str]] = {}
+    for cell_id in verdicts:
+        by_bench.setdefault(cell_id.split(":", 1)[0], []).append(cell_id)
+    for bench in sorted(by_bench):
+        lines.append(f"## {bench}")
+        lines.append("")
+        lines.append("| | cell | previous | current | change |")
+        lines.append("|---|---|---|---|---|")
+        for cell_id in sorted(by_bench[bench]):
+            entry = verdicts[cell_id]
+            change = entry.get("change")
+            lines.append(
+                f"| {_VERDICT_MARK[entry['verdict']]} "
+                f"| `{cell_id.split(':', 1)[1]}` "
+                f"| {_format_value(entry.get('previous'))} "
+                f"| {_format_value(entry.get('value'))} "
+                f"| {f'{change:+.1%}' if change is not None else '-'} |"
+            )
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_html(report: Mapping[str, Any]) -> str:
+    """Self-contained HTML wrapper around the markdown table data."""
+    verdicts: Mapping[str, Mapping[str, Any]] = report["verdicts"]
+    color = {
+        "regressed": "#c62828",
+        "better": "#2e7d32",
+        "ok": "#555",
+        "new": "#1565c0",
+        "removed": "#8e24aa",
+        "info": "#999",
+    }
+    rows = []
+    for cell_id in sorted(verdicts):
+        entry = verdicts[cell_id]
+        change = entry.get("change")
+        rows.append(
+            "<tr>"
+            f"<td style='color:{color[entry['verdict']]}'>"
+            f"{entry['verdict']}</td>"
+            f"<td><code>{cell_id}</code></td>"
+            f"<td>{_format_value(entry.get('previous'))}</td>"
+            f"<td>{_format_value(entry.get('value'))}</td>"
+            f"<td>{f'{change:+.1%}' if change is not None else '-'}</td>"
+            "</tr>"
+        )
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>Benchmark trend</title>"
+        "<style>body{font:14px sans-serif;margin:2em}"
+        "table{border-collapse:collapse}"
+        "td,th{border:1px solid #ddd;padding:4px 8px;"
+        "text-align:left}</style></head><body>"
+        f"<h1>Benchmark trend</h1>"
+        f"<p>snapshots={report['snapshot_count']} "
+        f"tolerance={report['tolerance']:.0%} "
+        f"regressed={len(report['regressed'])}</p>"
+        "<table><tr><th>verdict</th><th>cell</th><th>previous</th>"
+        "<th>current</th><th>change</th></tr>"
+        + "".join(rows)
+        + "</table></body></html>"
+    )

@@ -23,6 +23,9 @@ query pipeline:
   rollups over the simulator's per-sensor telemetry;
 - :mod:`repro.obs.flight` — the always-on bounded query flight
   recorder with slow-query promotion to full detail;
+- :mod:`repro.obs.profile` — the continuous span-attributed sampling
+  profiler (:class:`Profiler`, :class:`StackTable`) with
+  collapsed-stack, speedscope and Chrome-counter exports;
 - :mod:`repro.obs.explain` — the measured query EXPLAIN plan;
 - :mod:`repro.obs.dashboard` — the self-contained HTML dashboard the
   ``repro monitor`` CLI exports.
@@ -48,6 +51,13 @@ from .metrics import (
     set_registry,
     use_registry,
 )
+from .profile import (
+    DEFAULT_PROFILE_HZ,
+    Profiler,
+    StackTable,
+    memory_snapshot,
+    overlay_counters,
+)
 from .provenance import QueryProvenance
 from .slo import (
     Alert,
@@ -70,6 +80,7 @@ __all__ = [
     "ContainmentSLO",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_PROFILE_HZ",
     "FleetHealth",
     "FlightRecord",
     "FlightRecorder",
@@ -83,6 +94,7 @@ __all__ = [
     "NULL_TRACER",
     "NullMetricsRegistry",
     "NullTracer",
+    "Profiler",
     "QueryExplain",
     "QueryProvenance",
     "SECONDS_BUCKETS",
@@ -92,6 +104,7 @@ __all__ = [
     "SensorHealth",
     "SeriesWindow",
     "Span",
+    "StackTable",
     "TimeSeriesRecorder",
     "Tracer",
     "build_explain",
@@ -103,6 +116,8 @@ __all__ = [
     "get_logger",
     "get_registry",
     "kv",
+    "memory_snapshot",
+    "overlay_counters",
     "query_digest",
     "set_registry",
     "use_registry",

@@ -77,6 +77,11 @@ class QueryExplain:
     shards: int = 0
     fanout: int = 0
     stage_s: Mapping[str, float] = field(default_factory=dict)
+    # Sampled per-stage self time from the continuous profiler
+    # (leaf span name -> seconds; empty without a profiler).  Unlike
+    # ``phase_s`` this is *cumulative* sampler evidence across the
+    # process lifetime, not this execution's wall time.
+    profile_self_s: Mapping[str, float] = field(default_factory=dict)
 
     def format(self) -> str:
         """The compact text plan."""
@@ -152,6 +157,14 @@ class QueryExplain:
                 f"skipped={len(self.skipped_sensors)} "
                 f"lost_walls={self.lost_walls} bound=+-{bound_txt}"
             )
+        if self.profile_self_s:
+            ranked = sorted(
+                self.profile_self_s.items(), key=lambda kv: -kv[1]
+            )[:6]
+            entries = " ".join(
+                f"{name}={seconds * 1e3:.1f}ms" for name, seconds in ranked
+            )
+            lines.append(f"  profile self-time   {entries}")
         lines.append(f"  total {self.elapsed_s * 1e3:.3f}ms")
         return "\n".join(lines)
 
@@ -191,7 +204,22 @@ class QueryExplain:
             "shards": self.shards,
             "fanout": self.fanout,
             "stage_s": dict(self.stage_s),
+            "profile_self_s": dict(self.profile_self_s),
         }
+
+
+def _profile_self_s(profiler) -> Dict[str, float]:
+    """Sampled self time per leaf span, ``query.`` prefix stripped so
+    the plan's profile line aligns with the phase names."""
+    if profiler is None:
+        return {}
+    out: Dict[str, float] = {}
+    for leaf, seconds in profiler.table.leaf_self_seconds().items():
+        if leaf == "(no span)":
+            continue
+        name = leaf[6:] if leaf.startswith("query.") else leaf
+        out[name] = out.get(name, 0.0) + seconds
+    return out
 
 
 def build_explain(
@@ -248,6 +276,7 @@ def build_explain(
         error_bound=(
             degradation.error_bound if degradation is not None else None
         ),
+        profile_self_s=_profile_self_s(engine.obs.profiler),
     )
 
 
@@ -296,4 +325,5 @@ def build_sharded_explain(
         shards=engine.shards,
         fanout=fanout,
         stage_s=dict(stage_s),
+        profile_self_s=_profile_self_s(engine.obs.profiler),
     )

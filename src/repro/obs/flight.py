@@ -61,6 +61,8 @@ class FlightRecord:
         "generation",
         "slow",
         "detail",
+        "peak_rss_bytes",
+        "alloc_peak_bytes",
     )
 
     def __init__(
@@ -92,6 +94,11 @@ class FlightRecord:
         #: Promotion payload (provenance dict, serialized spans, …);
         #: attached by the caller when ``slow`` is True.
         self.detail: Optional[Dict[str, Any]] = None
+        #: Memory snapshot taken only on the strict slow path
+        #: (:func:`repro.obs.memory_snapshot`): process peak RSS and,
+        #: when tracemalloc is tracing, its traced-allocation peak.
+        self.peak_rss_bytes: Optional[int] = None
+        self.alloc_peak_bytes: Optional[int] = None
 
     @property
     def digest(self) -> str:
@@ -117,6 +124,10 @@ class FlightRecord:
             "generation": self.generation,
             "slow": self.slow,
         }
+        if self.peak_rss_bytes is not None:
+            out["peak_rss_bytes"] = self.peak_rss_bytes
+        if self.alloc_peak_bytes is not None:
+            out["alloc_peak_bytes"] = self.alloc_peak_bytes
         if self.detail is not None:
             out["detail"] = self.detail
         return out
@@ -270,10 +281,16 @@ class FlightRecorder:
                 f"{name}={seconds * 1e3:.2f}ms"
                 for name, seconds in (entry.stage_s or {}).items()
             )
+            memory = ""
+            if entry.peak_rss_bytes is not None:
+                memory = f" rss={entry.peak_rss_bytes / 1e6:.1f}MB"
+            if entry.alloc_peak_bytes is not None:
+                memory += f" alloc={entry.alloc_peak_bytes / 1e6:.2f}MB"
             lines.append(
                 f"#{entry.seq} {entry.digest} {entry.planner} "
                 f"{entry.elapsed_s * 1e3:.3f}ms fanout={entry.fanout}"
                 + (f" [{stages}]" if stages else "")
                 + (f" degraded={entry.degraded}" if entry.degraded else "")
+                + memory
             )
         return lines

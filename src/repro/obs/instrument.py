@@ -16,7 +16,7 @@ metrics registry, with provenance enabled.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Union
+from typing import Optional, Union
 
 from .metrics import (
     MetricsRegistry,
@@ -24,6 +24,7 @@ from .metrics import (
     NullMetricsRegistry,
     get_registry,
 )
+from .profile import Profiler
 from .trace import NULL_TRACER, NullTracer, Tracer
 
 
@@ -36,6 +37,9 @@ class Instrumentation:
         default_factory=get_registry
     )
     provenance: bool = False
+    #: Optional continuous sampling profiler (default off; enabled via
+    #: ``FrameworkConfig.profile_hz`` or ``demo --profile``).
+    profiler: Optional[Profiler] = None
 
     @property
     def active(self) -> bool:

@@ -1,0 +1,588 @@
+"""Continuous span-attributed sampling profiler.
+
+The observability stack so far can say *that* a span was slow
+(:mod:`repro.obs.trace`), *how often* something happened
+(:mod:`repro.obs.metrics`) and *which* queries were slow
+(:mod:`repro.obs.flight`) — but not *where the cycles went*.  This
+module closes that gap with a zero-dependency, always-on-capable
+sampling profiler:
+
+- a background :class:`_Sampler` thread walks ``sys._current_frames()``
+  at a configurable rate (default :data:`DEFAULT_PROFILE_HZ`), so the
+  profiled code pays nothing per call — cost is ``hz × sample_cost``
+  regardless of how hot the code is;
+- every sample is *attributed to the active tracer span stack*: the
+  sampler joins the sampled thread id against the
+  :class:`~repro.obs.Tracer`'s per-thread open spans
+  (:meth:`~repro.obs.Tracer.open_path`), so a stack lands under
+  ``query.execute > query.integrate`` rather than as a bare frame list;
+- samples aggregate into a compact :class:`StackTable` keyed on
+  ``(span path, collapsed frame stack)`` — memory stays bounded by the
+  number of *distinct* stacks, not the number of samples;
+- with ``memory=True`` each tick also reads
+  ``tracemalloc.get_traced_memory()`` and maintains per-span-path
+  *sampled peak watermarks* (the highest traced allocation observed
+  while that span path was open on the sampled thread).
+
+Exports: collapsed-stack text (``flamegraph.pl`` / speedscope paste
+format, round-trippable via :meth:`StackTable.from_collapsed`),
+speedscope JSON (:meth:`StackTable.to_speedscope`), and Chrome-trace
+*counter tracks* (:meth:`Profiler.chrome_counter_events` /
+:func:`overlay_counters`) that overlay the sampler's activity and
+traced-allocation series on the Perfetto swimlanes exported by
+:meth:`~repro.obs.Tracer.to_chrome_trace`.
+
+Cross-process: sharded workers run their own worker-local profiler;
+each ``_worker_run`` call ships the drained stack table home next to
+the metric deltas and the parent merges it under the grafted
+``worker.run`` span paths (:meth:`StackTable.merge`), so one
+flamegraph covers the parent and every shard worker.
+
+Lifecycle: the sampler thread is **finalizer-owned**, exactly like the
+sharded engine's shared-memory segments — ``weakref.finalize`` stops
+and joins it when the :class:`Profiler` is stopped, garbage-collected
+or the interpreter exits, so an abandoned profiler never leaves a
+dangling thread behind ``framework.close()``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import threading
+import time
+import tracemalloc
+import weakref
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+#: Default sampling rate.  Prime, so the sampler never locks step with
+#: periodic work (metric ticks, compaction cadences) and under-samples
+#: one phase systematically.
+DEFAULT_PROFILE_HZ = 97.0
+
+#: Frames deeper than this are truncated (runaway recursion guard).
+MAX_STACK_DEPTH = 128
+
+#: Collapsed-stack prefix marking a tracer-span component, so span
+#: path and code frames survive a text round trip unambiguously.
+SPAN_PREFIX = "span:"
+
+#: Counter-track names of the Chrome-trace overlay.
+COUNTER_SAMPLES = "profile.sampled_threads"
+COUNTER_ALLOC = "profile.alloc_bytes"
+
+_PROFILE_FILE = os.path.abspath(__file__)
+
+
+def _format_frame(frame) -> str:
+    code = frame.f_code
+    filename = os.path.basename(code.co_filename)
+    return f"{code.co_name} ({filename}:{frame.f_lineno})"
+
+
+def memory_snapshot() -> Dict[str, Optional[int]]:
+    """Cheap process-memory snapshot for slow-query flight records.
+
+    ``peak_rss_bytes`` is the high-water resident set of the process
+    (``ru_maxrss``); ``alloc_peak_bytes`` is tracemalloc's traced
+    allocation peak — ``None`` unless tracing is on (a profiler with
+    ``memory=True``, or the caller's own ``tracemalloc.start()``).
+    Both reads are O(1): this is safe on the strict slow-query
+    promotion path.
+    """
+    peak_rss: Optional[int] = None
+    try:
+        import resource
+
+        rss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        # Linux reports kilobytes, macOS bytes.
+        peak_rss = int(rss) * (1 if sys.platform == "darwin" else 1024)
+    except Exception:  # pragma: no cover - exotic platforms
+        peak_rss = None
+    alloc_peak: Optional[int] = None
+    if tracemalloc.is_tracing():
+        alloc_peak = int(tracemalloc.get_traced_memory()[1])
+    return {"peak_rss_bytes": peak_rss, "alloc_peak_bytes": alloc_peak}
+
+
+class StackTable:
+    """Aggregated profile: sample counts keyed on (span path, stack).
+
+    The key is ``(span_path, frames)`` — both tuples of strings, the
+    span path outermost-first (tracer span names) and the frame stack
+    root-first (``func (file:line)``).  Counts are additive, which is
+    what makes the cross-process story exact: the merge of per-worker
+    tables equals the table a single profiler observing all of them
+    would have built (asserted by the merge-identity test).
+    """
+
+    __slots__ = ("hz", "counts")
+
+    def __init__(self, hz: float = DEFAULT_PROFILE_HZ) -> None:
+        if hz <= 0:
+            raise ValueError(f"profile hz must be > 0, got {hz}")
+        self.hz = float(hz)
+        self.counts: Dict[Tuple[Tuple[str, ...], Tuple[str, ...]], int] = {}
+
+    # ------------------------------------------------------------------
+    def add(
+        self,
+        span_path: Tuple[str, ...],
+        frames: Tuple[str, ...],
+        count: int = 1,
+    ) -> None:
+        key = (tuple(span_path), tuple(frames))
+        self.counts[key] = self.counts.get(key, 0) + int(count)
+
+    @property
+    def total(self) -> int:
+        """Samples aggregated (sum over all rows)."""
+        return sum(self.counts.values())
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    # ------------------------------------------------------------------
+    def merge(
+        self,
+        other: "StackTable | Dict[str, Any]",
+        prefix: Tuple[str, ...] = (),
+    ) -> None:
+        """Fold another table (or its :meth:`as_dict` form) into this
+        one, optionally nesting its span paths under ``prefix``.
+
+        The sharded parent merges each worker's shipped table with
+        ``prefix=("query.execute_sharded", "sharded.scatter")`` so
+        worker samples land exactly where the grafted ``worker.run``
+        spans sit in the parent's trace.
+        """
+        prefix = tuple(prefix)
+        if isinstance(other, StackTable):
+            rows: Iterable = (
+                (path, frames, count)
+                for (path, frames), count in other.counts.items()
+            )
+        else:
+            rows = (
+                (tuple(path), tuple(frames), int(count))
+                for path, frames, count in other.get("rows", ())
+            )
+        for path, frames, count in rows:
+            self.add(prefix + tuple(path), frames, count)
+
+    def drain(self) -> Dict[str, Any]:
+        """The :meth:`as_dict` payload, clearing the table (per-call
+        delta shipping from sharded workers)."""
+        payload = self.as_dict()
+        self.counts.clear()
+        return payload
+
+    # ------------------------------------------------------------------
+    # Aggregations
+    # ------------------------------------------------------------------
+    def self_seconds_by_span(self) -> Dict[Tuple[str, ...], float]:
+        """Self time (seconds) attributed to each span path."""
+        out: Dict[Tuple[str, ...], float] = {}
+        period = 1.0 / self.hz
+        for (path, _frames), count in self.counts.items():
+            out[path] = out.get(path, 0.0) + count * period
+        return out
+
+    def leaf_self_seconds(self) -> Dict[str, float]:
+        """Self time keyed on the innermost open span name (samples
+        with no open span land under ``"(no span)"``)."""
+        out: Dict[str, float] = {}
+        for path, seconds in self.self_seconds_by_span().items():
+            leaf = path[-1] if path else "(no span)"
+            out[leaf] = out.get(leaf, 0.0) + seconds
+        return out
+
+    def top_rows(self, limit: int = 15) -> List[Dict[str, Any]]:
+        """Heaviest rows for dashboards and CLI summaries."""
+        period = 1.0 / self.hz
+        ranked = sorted(
+            self.counts.items(), key=lambda item: item[1], reverse=True
+        )
+        total = self.total or 1
+        rows = []
+        for (path, frames), count in ranked[:limit]:
+            rows.append(
+                {
+                    "span_path": " > ".join(path) if path else "(no span)",
+                    "frame": frames[-1] if frames else "(no frame)",
+                    "samples": count,
+                    "self_s": count * period,
+                    "share": count / total,
+                }
+            )
+        return rows
+
+    # ------------------------------------------------------------------
+    # Wire format
+    # ------------------------------------------------------------------
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "hz": self.hz,
+            "total": self.total,
+            "rows": [
+                [list(path), list(frames), count]
+                for (path, frames), count in sorted(self.counts.items())
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "StackTable":
+        table = cls(hz=data.get("hz", DEFAULT_PROFILE_HZ))
+        table.merge(data)
+        return table
+
+    # ------------------------------------------------------------------
+    # Collapsed-stack text (flamegraph.pl / speedscope paste format)
+    # ------------------------------------------------------------------
+    def to_collapsed(self) -> str:
+        """One ``a;b;c count`` line per distinct stack; span-path
+        components carry the :data:`SPAN_PREFIX` marker so
+        :meth:`from_collapsed` reconstructs the attribution exactly."""
+        lines = []
+        for (path, frames), count in sorted(self.counts.items()):
+            parts = [SPAN_PREFIX + name for name in path]
+            parts.extend(frames)
+            lines.append(f"{';'.join(parts)} {count}")
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    @classmethod
+    def from_collapsed(
+        cls, text: str, hz: float = DEFAULT_PROFILE_HZ
+    ) -> "StackTable":
+        table = cls(hz=hz)
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            stack_txt, _, count_txt = line.rpartition(" ")
+            parts = stack_txt.split(";") if stack_txt else []
+            path: List[str] = []
+            while parts and parts[0].startswith(SPAN_PREFIX):
+                path.append(parts.pop(0)[len(SPAN_PREFIX):])
+            table.add(tuple(path), tuple(parts), int(count_txt))
+        return table
+
+    # ------------------------------------------------------------------
+    # speedscope JSON
+    # ------------------------------------------------------------------
+    def to_speedscope(self, name: str = "repro profile") -> Dict[str, Any]:
+        """The speedscope file format (one ``sampled`` profile whose
+        weights are seconds).  Span-path components become synthetic
+        outer frames (``span:…``), so the flamegraph nests code under
+        the tracer spans it ran in — worker stacks under their grafted
+        ``worker.run`` paths included.
+        """
+        frame_index: Dict[str, int] = {}
+        frames: List[Dict[str, str]] = []
+
+        def intern(frame_name: str) -> int:
+            index = frame_index.get(frame_name)
+            if index is None:
+                index = len(frames)
+                frame_index[frame_name] = index
+                frames.append({"name": frame_name})
+            return index
+
+        samples: List[List[int]] = []
+        weights: List[float] = []
+        period = 1.0 / self.hz
+        for (path, stack), count in sorted(self.counts.items()):
+            sample = [intern(SPAN_PREFIX + component) for component in path]
+            sample.extend(intern(frame) for frame in stack)
+            samples.append(sample)
+            weights.append(count * period)
+        total = float(sum(weights))
+        return {
+            "$schema": "https://www.speedscope.app/file-format-schema.json",
+            "name": name,
+            "exporter": "repro.obs.profile",
+            "activeProfileIndex": 0,
+            "shared": {"frames": frames},
+            "profiles": [
+                {
+                    "type": "sampled",
+                    "name": name,
+                    "unit": "seconds",
+                    "startValue": 0.0,
+                    "endValue": total,
+                    "samples": samples,
+                    "weights": weights,
+                }
+            ],
+        }
+
+
+class _NullSpanSource:
+    """Span source of a tracer-less profiler: everything unattributed."""
+
+    __slots__ = ()
+
+    def open_path(self, thread_id: int) -> Tuple[str, ...]:
+        return ()
+
+
+_NULL_SPAN_SOURCE = _NullSpanSource()
+
+
+def _release_sampler(
+    stop: threading.Event,
+    thread: Optional[threading.Thread],
+    stop_tracemalloc: bool,
+) -> None:
+    """Finalizer target: stop and join the sampler thread.
+
+    Module-level on purpose — a bound method would keep the profiler
+    alive through its own finalizer and defeat garbage collection.
+    """
+    stop.set()
+    if thread is not None and thread.is_alive():
+        thread.join(timeout=5.0)
+    if stop_tracemalloc and tracemalloc.is_tracing():
+        tracemalloc.stop()
+
+
+def _sampler_loop(
+    stop: threading.Event,
+    profiler_ref: "weakref.ReferenceType[Profiler]",
+    period: float,
+) -> None:
+    """Sampler thread body.
+
+    Module-level with only a weak reference to the profiler: a
+    ``target=self._run`` bound method would pin the profiler alive
+    through the thread object, so an abandoned profiler could never be
+    collected and its finalizer would never reap this thread.  The
+    strong reference is taken only around the sample and dropped before
+    the next wait.
+    """
+    while not stop.wait(period):
+        profiler = profiler_ref()
+        if profiler is None:
+            return
+        try:
+            profiler.sample_once()
+        except Exception:  # pragma: no cover - never kill the app
+            pass
+        del profiler
+
+
+class Profiler:
+    """Background sampling profiler with tracer-span attribution.
+
+    >>> profiler = Profiler(tracer=obs.tracer, hz=97).start()
+    >>> ...  # run the workload
+    >>> profiler.stop()
+    >>> open("out.speedscope.json", "w").write(
+    ...     json.dumps(profiler.table.to_speedscope()))
+
+    ``memory=True`` additionally enables :mod:`tracemalloc` (if not
+    already tracing) and keeps per-span-path sampled peak watermarks in
+    :attr:`mem_peak_bytes`.  The sampler thread is daemonic *and*
+    finalizer-owned: :meth:`stop`, garbage collection and interpreter
+    exit all reap it deterministically.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional[object] = None,
+        hz: float = DEFAULT_PROFILE_HZ,
+        memory: bool = False,
+        max_timeline: int = 4096,
+    ) -> None:
+        if hz <= 0 or hz > 10_000:
+            raise ValueError(f"profile hz must be in (0, 10000], got {hz}")
+        self.hz = float(hz)
+        self.memory = bool(memory)
+        self.table = StackTable(hz=self.hz)
+        #: Sampled traced-allocation peak per span path (bytes).
+        self.mem_peak_bytes: Dict[Tuple[str, ...], int] = {}
+        #: Bounded (perf_counter, threads_sampled, alloc_bytes|None)
+        #: series feeding the Chrome-trace counter tracks.
+        self.timeline: List[Tuple[float, int, Optional[int]]] = []
+        self._max_timeline = int(max_timeline)
+        self._spans = (
+            tracer
+            if tracer is not None and hasattr(tracer, "open_path")
+            else _NULL_SPAN_SOURCE
+        )
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._finalizer: Optional[weakref.finalize] = None
+        self._started_tracemalloc = False
+
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Profiler":
+        """Start the sampler thread (idempotent while running)."""
+        if self.running:
+            return self
+        if self.memory and not tracemalloc.is_tracing():
+            tracemalloc.start()
+            self._started_tracemalloc = True
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=_sampler_loop,
+            args=(self._stop, weakref.ref(self), 1.0 / self.hz),
+            name="repro-profiler",
+            daemon=True,
+        )
+        self._thread.start()
+        # Finalizer-owned shutdown, like the sharded engine's shm
+        # segments: stop+join on stop()/GC/atexit, never a dangling
+        # thread after framework.close().
+        self._finalizer = weakref.finalize(
+            self,
+            _release_sampler,
+            self._stop,
+            self._thread,
+            self._started_tracemalloc,
+        )
+        return self
+
+    def stop(self) -> "Profiler":
+        """Stop and join the sampler thread (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+        elif self._started_tracemalloc and tracemalloc.is_tracing():
+            tracemalloc.stop()
+        self._thread = None
+        return self
+
+    def __enter__(self) -> "Profiler":
+        return self.start()
+
+    def __exit__(self, *exc: Any) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    def sample_once(self) -> int:
+        """Take one sample of every application thread; returns the
+        number of threads sampled.
+
+        Called by the background thread on each tick, and directly by
+        code that wants a guaranteed sample (the sharded worker anchors
+        one per sub-batch so short batches still appear under their
+        ``worker.run`` span even between ticks).
+        """
+        sampler = self._thread.ident if self._thread is not None else None
+        spans = self._spans
+        table = self.table
+        sampled = 0
+        for tid, frame in sys._current_frames().items():
+            if tid == sampler:
+                # Never profile the profiler: the sampler thread's own
+                # wait loop is not application time.
+                continue
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < MAX_STACK_DEPTH:
+                if frame.f_code.co_filename != _PROFILE_FILE:
+                    stack.append(_format_frame(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.reverse()
+            try:
+                span_path = tuple(spans.open_path(tid))
+            except Exception:  # racing span close: attribute bare
+                span_path = ()
+            table.add(span_path, tuple(stack))
+            sampled += 1
+            if self.memory and tracemalloc.is_tracing():
+                current = tracemalloc.get_traced_memory()[0]
+                previous = self.mem_peak_bytes.get(span_path, 0)
+                if current > previous:
+                    self.mem_peak_bytes[span_path] = current
+        alloc = (
+            int(tracemalloc.get_traced_memory()[0])
+            if self.memory and tracemalloc.is_tracing()
+            else None
+        )
+        if len(self.timeline) < self._max_timeline:
+            self.timeline.append((time.perf_counter(), sampled, alloc))
+        return sampled
+
+    # ------------------------------------------------------------------
+    # Exports
+    # ------------------------------------------------------------------
+    def chrome_counter_events(
+        self, origin: float = 0.0, pid: Optional[int] = None
+    ) -> List[Dict[str, Any]]:
+        """Chrome-trace counter events (``ph: "C"``) of the sampler's
+        activity and traced-allocation series, on the same time axis as
+        :meth:`~repro.obs.Tracer.to_chrome_trace` (pass the tracer's
+        :attr:`~repro.obs.Tracer.origin`)."""
+        pid = pid if pid is not None else os.getpid()
+        events: List[Dict[str, Any]] = []
+        for t, sampled, alloc in self.timeline:
+            ts = (t - origin) * 1e6
+            events.append(
+                {
+                    "name": COUNTER_SAMPLES,
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": 0,
+                    "cat": "repro.profile",
+                    "args": {"threads": sampled},
+                }
+            )
+            if alloc is not None:
+                events.append(
+                    {
+                        "name": COUNTER_ALLOC,
+                        "ph": "C",
+                        "ts": ts,
+                        "pid": pid,
+                        "tid": 0,
+                        "cat": "repro.profile",
+                        "args": {"bytes": alloc},
+                    }
+                )
+        return events
+
+    def write(self, directory: str, name: str = "profile") -> Dict[str, str]:
+        """Write the collapsed-stack text and speedscope JSON under
+        ``directory`` (created if missing); returns the paths."""
+        os.makedirs(directory, exist_ok=True)
+        collapsed = os.path.join(directory, f"{name}.collapsed")
+        speedscope = os.path.join(directory, f"{name}.speedscope.json")
+        with open(collapsed, "w") as handle:
+            handle.write(self.table.to_collapsed())
+        with open(speedscope, "w") as handle:
+            json.dump(self.table.to_speedscope(name=name), handle, indent=1)
+        paths = {"collapsed": collapsed, "speedscope": speedscope}
+        if self.mem_peak_bytes:
+            watermarks = os.path.join(directory, f"{name}.memory.json")
+            with open(watermarks, "w") as handle:
+                json.dump(
+                    {
+                        " > ".join(path) or "(no span)": peak
+                        for path, peak in sorted(self.mem_peak_bytes.items())
+                    },
+                    handle,
+                    indent=1,
+                )
+            paths["memory"] = watermarks
+        return paths
+
+
+def overlay_counters(
+    trace: Dict[str, Any], profiler: Profiler, origin: float = 0.0
+) -> Dict[str, Any]:
+    """Merge the profiler's counter tracks into a Chrome-trace object
+    (as returned by :meth:`~repro.obs.Tracer.to_chrome_trace`), in
+    place.  Counter events carry this process's pid, so they draw in
+    the parent's lane alongside the per-worker swimlanes."""
+    trace.setdefault("traceEvents", []).extend(
+        profiler.chrome_counter_events(origin)
+    )
+    return trace

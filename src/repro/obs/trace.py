@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
@@ -132,33 +133,61 @@ class Tracer:
 
     def __init__(self) -> None:
         self.roots: List[Span] = []
-        self._stack: List[Span] = []
+        #: Open-span stack per thread id: spans nest within the thread
+        #: that opened them, and the profiler's sampler joins sampled
+        #: thread ids against these stacks (:meth:`open_path`).
+        self._stacks: Dict[int, List[Span]] = {}
         #: perf_counter origin so exported timestamps start near zero.
         self._origin = time.perf_counter()
+
+    @property
+    def origin(self) -> float:
+        """The perf_counter origin of exported timestamps (shared with
+        the profiler's counter-track overlay)."""
+        return self._origin
 
     # ------------------------------------------------------------------
     def span(self, name: str, **attributes: Any) -> _SpanContext:
         """Open a child span of the innermost open span (or a root)."""
         opened = Span(name, time.perf_counter(), **attributes)
-        if self._stack:
-            self._stack[-1].children.append(opened)
+        stack = self._stacks.setdefault(threading.get_ident(), [])
+        if stack:
+            stack[-1].children.append(opened)
         else:
             self.roots.append(opened)
-        self._stack.append(opened)
+        stack.append(opened)
         return _SpanContext(self, opened)
 
     def _close(self, span: Span) -> None:
-        if not any(open_span is span for open_span in self._stack):
-            # Already closed (or never opened on this tracer): a second
+        stack = self._stacks.get(threading.get_ident(), [])
+        if not any(open_span is span for open_span in stack):
+            # Already closed (or never opened on this thread): a second
             # close must not unwind unrelated open spans.
             return
         span.end = time.perf_counter()
         # Close any forgotten descendants too (exception unwinds).
-        while self._stack[-1] is not span:
-            dangling = self._stack.pop()
+        while stack[-1] is not span:
+            dangling = stack.pop()
             if dangling.end is None:
                 dangling.end = span.end
-        self._stack.pop()
+        stack.pop()
+
+    def open_path(self, thread_id: Optional[int] = None) -> Tuple[str, ...]:
+        """Names of the spans currently open on ``thread_id`` (default:
+        the calling thread), outermost first.
+
+        This is the profiler's attribution join: the sampler calls it
+        with each sampled thread id to label the sample with the span
+        path it ran under.  Reads are lock-free — the GIL makes the
+        list-copy atomic enough for sampling, and a span racing closed
+        merely attributes one sample a level too deep.
+        """
+        if thread_id is None:
+            thread_id = threading.get_ident()
+        stack = self._stacks.get(thread_id)
+        if not stack:
+            return ()
+        return tuple(span.name for span in list(stack))
 
     # ------------------------------------------------------------------
     def graft(
@@ -291,8 +320,15 @@ class NullTracer:
         every tracer."""
         return ()
 
+    @property
+    def origin(self) -> float:
+        return 0.0
+
     def span(self, name: str, **attributes: Any) -> _NullSpanContext:
         return _NULL_SPAN
+
+    def open_path(self, thread_id: Optional[int] = None) -> Tuple[str, ...]:
+        return ()
 
     def graft(
         self,

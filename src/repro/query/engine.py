@@ -224,7 +224,10 @@ class QueryEngine:
             result = self.execute(query)
         else:
             self.obs = Instrumentation(
-                tracer=obs.tracer, metrics=obs.metrics, provenance=True
+                tracer=obs.tracer,
+                metrics=obs.metrics,
+                provenance=True,
+                profiler=obs.profiler,
             )
             try:
                 result = self.execute(query)
@@ -1027,4 +1030,14 @@ class QueryEngine:
             detail: Dict[str, object] = {"stage_s": dict(stage_s or {})}
             if provenance is not None:
                 detail["provenance"] = provenance.as_dict()
+            # Memory evidence, only on the already-strict slow path:
+            # two O(1) reads, never taken for fast traffic.
+            from ..obs import memory_snapshot
+
+            snapshot = memory_snapshot()
+            record.peak_rss_bytes = snapshot["peak_rss_bytes"]
+            record.alloc_peak_bytes = snapshot["alloc_peak_bytes"]
+            profiler = self.obs.profiler
+            if profiler is not None:
+                detail["profile_top"] = profiler.table.top_rows(5)
             record.detail = detail

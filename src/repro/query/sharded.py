@@ -92,11 +92,13 @@ from ..obs import (
     MetricsRegistry,
     NULL_INSTRUMENTATION,
     NULL_TRACER,
+    Profiler,
     SECONDS_BUCKETS,
     Tracer,
     get_logger,
     get_registry,
     kv,
+    memory_snapshot,
     set_registry,
 )
 from ..obs.explain import QueryExplain, build_sharded_explain
@@ -167,6 +169,7 @@ def _worker_init(
     access_mode: str,
     collect_metrics: bool,
     collect_spans: bool = False,
+    profile_hz: float = 0.0,
 ) -> None:
     """Pool initializer: fresh registry + lazy per-shard engine slots.
 
@@ -175,16 +178,29 @@ def _worker_init(
     makes the per-call dumps pure deltas of this worker's own work.
     With ``collect_spans`` the worker also keeps a local tracer whose
     per-call span trees ship back for grafting into the parent's trace.
+
+    ``profile_hz`` > 0 additionally starts a worker-local continuous
+    :class:`~repro.obs.Profiler` attributed to the worker tracer (a
+    live tracer is forced on, so samples have spans to join); each
+    ``_worker_run`` call drains its stack table home with the metric
+    deltas.
     """
     set_registry(MetricsRegistry())
     _WORKER.clear()
+    tracer = (
+        Tracer() if (collect_spans or profile_hz > 0) else NULL_TRACER
+    )
+    profiler = None
+    if profile_hz > 0:
+        profiler = Profiler(tracer=tracer, hz=profile_hz).start()
     _WORKER.update(
         network=network,
         descriptors=list(descriptors),
         static_eval=static_eval,
         access_mode=access_mode,
         collect_metrics=collect_metrics,
-        tracer=Tracer() if collect_spans else NULL_TRACER,
+        tracer=tracer,
+        profiler=profiler,
         forms={},
         engines={},
         last_dump=None,
@@ -229,7 +245,7 @@ def _worker_engine(shard: int, static_eval: str) -> QueryEngine:
 
 def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
     """Execute a sub-batch on one shard; return
-    ``(shard, payload, dump, spans)``.
+    ``(shard, payload, dump, spans, profile)``.
 
     Payload rows are ``(index, partial_values, edges, nodes)`` where
     ``partial_values`` has two entries — the start/end snapshot sums —
@@ -242,6 +258,12 @@ def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
     ``query.integrate``) on the worker-local tracer, then ships the new
     roots back as dicts stamped with this pid (tid = shard id + 1) and
     prunes them — the worker tracer never grows across calls.
+
+    With a worker-local profiler, one anchor sample is forced inside
+    the ``worker.run`` span (a fast sub-batch could otherwise fall
+    entirely between sampler ticks) and the drained stack-table delta
+    ships home as ``profile`` for the parent to merge under the
+    grafted span path.
     """
     queries = [query for _, query in indexed]
     static_eval = str(_WORKER["static_eval"])
@@ -289,6 +311,9 @@ def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
                         result.nodes_accessed,
                     )
                 )
+        profiler = _WORKER.get("profiler")
+        if profiler is not None:
+            profiler.sample_once()
     dump = None
     if _WORKER["collect_metrics"]:
         current = get_registry().dump()
@@ -302,7 +327,8 @@ def _worker_run(shard: int, indexed: List[Tuple[int, RangeQuery]]):
             for root in tracer.roots[roots_before:]
         ]
         del tracer.roots[roots_before:]
-    return shard, payload, dump, spans
+    profile = profiler.table.drain() if profiler is not None else None
+    return shard, payload, dump, spans, profile
 
 
 # ----------------------------------------------------------------------
@@ -481,6 +507,9 @@ class ShardedQueryEngine:
         context = None
         if "fork" in multiprocessing.get_all_start_methods():
             context = multiprocessing.get_context("fork")
+        # Workers sample at the parent profiler's rate so the merged
+        # flamegraph weighs parent and shard time on the same scale.
+        profiler = self.obs.profiler
         self._executor = ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=context,
@@ -492,6 +521,7 @@ class ShardedQueryEngine:
                 access_mode,
                 collect_worker_metrics,
                 self.obs.tracer.enabled,
+                profiler.hz if profiler is not None else 0.0,
             ),
         )
         self._finalizer = weakref.finalize(
@@ -776,7 +806,13 @@ class ShardedQueryEngine:
                 with tracer.span("sharded.gather", subbatches=len(futures)):
                     for future in as_completed(futures):
                         try:
-                            shard, payload, dump, spans = future.result()
+                            (
+                                shard,
+                                payload,
+                                dump,
+                                spans,
+                                profile,
+                            ) = future.result()
                         except BrokenProcessPool as exc:
                             self._worker_crashed(futures[future], exc)
                         if spans:
@@ -785,6 +821,18 @@ class ShardedQueryEngine:
                         if dump is not None:
                             self._registry.absorb(
                                 dump, skip=PARENT_ACCOUNTED_METRICS
+                            )
+                        if profile and self.obs.profiler is not None:
+                            # Worker samples nest exactly where the
+                            # grafted worker.run spans sit in the
+                            # parent trace, so one flamegraph covers
+                            # parent + all shard workers.
+                            self.obs.profiler.table.merge(
+                                profile,
+                                prefix=(
+                                    "query.execute_sharded",
+                                    "sharded.scatter",
+                                ),
                             )
                         for index, values, edges, nodes in payload:
                             entry = merged[index]
@@ -914,6 +962,12 @@ class ShardedQueryEngine:
                 }
                 if batch_spans:
                     detail["spans"] = batch_spans
+                snapshot = memory_snapshot()
+                record.peak_rss_bytes = snapshot["peak_rss_bytes"]
+                record.alloc_peak_bytes = snapshot["alloc_peak_bytes"]
+                profiler = self.obs.profiler
+                if profiler is not None:
+                    detail["profile_top"] = profiler.table.top_rows(5)
                 record.detail = detail
 
     def _zero_accounting(

@@ -435,6 +435,32 @@ class TestClosedFramework:
             framework.monitor()
         framework.close()  # idempotent
 
+    def test_close_reaps_profiler_thread(self, grid_road, grid_events):
+        """The sampler thread is finalizer-owned like the shm segments:
+        ``framework.close()`` must stop and join it, leaving no
+        dangling ``repro-profiler`` thread behind."""
+        import threading
+
+        framework = InNetworkFramework.from_road_graph(grid_road)
+        framework.deploy(
+            FrameworkConfig(
+                budget=10, seed=3, streaming=True, profile_hz=200.0
+            )
+        )
+        framework.ingest_events(grid_events[:100])
+        profiler = framework.profiler
+        assert profiler is not None and profiler.running
+        sampler = profiler._thread
+        assert sampler in threading.enumerate()
+        framework.close()
+        assert not profiler.running
+        assert sampler not in threading.enumerate()
+        assert not any(
+            thread.name == "repro-profiler" and thread.is_alive()
+            for thread in threading.enumerate()
+        )
+        framework.close()  # idempotent
+
     def test_streaming_requires_exact_store(self):
         with pytest.raises(ConfigurationError, match="streaming"):
             FrameworkConfig(streaming=True, store="linear")
